@@ -1,0 +1,73 @@
+//! End-to-end throughput: PARIS runs and ALEX feedback episodes — the
+//! numbers behind the §7.3 execution-time discussion.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use alex_core::{AlexConfig, ExactOracle, ExplorationSpace, PartitionEngine, DEFAULT_MAX_BLOCK};
+use alex_datagen::{degrade, generate, GeneratedPair, PaperPair};
+use alex_paris::ParisLinker;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pair() -> GeneratedPair {
+    generate(&PaperPair::OpencycNytimes.spec(0.6, 1))
+}
+
+fn bench_paris(c: &mut Criterion) {
+    let p = pair();
+    c.bench_function("paris_full_run", |b| {
+        b.iter(|| {
+            let out = ParisLinker::default().run(&p.left, &p.right);
+            black_box(out.links.len())
+        })
+    });
+}
+
+fn bench_episode(c: &mut Criterion) {
+    let p = pair();
+    let subjects: Vec<_> = p.left.subjects().collect();
+    let cfg = AlexConfig::default();
+    let space =
+        ExplorationSpace::build(&p.left, &p.right, &subjects, &cfg.sim, cfg.theta, DEFAULT_MAX_BLOCK);
+    let mut rng = StdRng::seed_from_u64(5);
+    let initial = degrade(&p.truth, 0.8, 0.3, &mut rng);
+    let oracle = ExactOracle::new(p.truth.clone());
+
+    let mut g = c.benchmark_group("episode");
+    for items in [10usize, 100, 1000] {
+        g.throughput(Throughput::Elements(items as u64));
+        g.bench_function(format!("feedback_items_{items}"), |b| {
+            b.iter_batched(
+                || PartitionEngine::new(space.clone(), initial.iter().copied(), cfg.clone(), 9),
+                |mut engine| {
+                    let stats = engine.run_episode(items, &oracle);
+                    black_box(stats.feedback_items)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_process_feedback(c: &mut Criterion) {
+    let p = pair();
+    let subjects: Vec<_> = p.left.subjects().collect();
+    let cfg = AlexConfig::default();
+    let space =
+        ExplorationSpace::build(&p.left, &p.right, &subjects, &cfg.sim, cfg.theta, DEFAULT_MAX_BLOCK);
+    let link = p.truth.iter().find(|l| space.contains(**l)).copied().unwrap();
+    c.bench_function("process_positive_feedback", |b| {
+        b.iter_batched(
+            || PartitionEngine::new(space.clone(), [link], cfg.clone(), 9),
+            |mut engine| {
+                engine.process_feedback(link, true);
+                black_box(engine.candidates().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_paris, bench_episode, bench_process_feedback);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benchmarks for query parsing, single-store execution, and federated
+//! execution with sameAs translation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use alex_datagen::{generate, GeneratedPair, PaperPair};
+use alex_query::{parse, CompiledQuery, FederatedEngine};
+use alex_rdf::Link;
+
+fn pair() -> GeneratedPair {
+    generate(&PaperPair::DbpediaNytimes.spec(0.3, 1))
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let text = "PREFIX db: <http://dbpedia.example.org/ontology/>\n\
+                SELECT DISTINCT ?p ?n WHERE { \
+                  ?p db:name ?n . ?p db:year ?y . \
+                  FILTER(?y >= 1950 && ?y < 1990) \
+                  FILTER(CONTAINS(?n, \"an\")) } LIMIT 50";
+    c.bench_function("query_parse", |b| b.iter(|| black_box(parse(black_box(text)).unwrap())));
+}
+
+fn bench_single_store(c: &mut Criterion) {
+    let p = pair();
+    let query = parse(
+        "SELECT ?p ?n WHERE { \
+           ?p <http://dbpedia.example.org/ontology/name> ?n . \
+           ?p <http://dbpedia.example.org/ontology/year> ?y . \
+           FILTER(?y >= 1950) }",
+    )
+    .unwrap();
+    let compiled = CompiledQuery::new(query);
+    c.bench_function("query_single_store", |b| {
+        b.iter(|| black_box(compiled.execute(&p.left)).len())
+    });
+}
+
+fn bench_federated(c: &mut Criterion) {
+    let p = pair();
+    let mut fed = FederatedEngine::new(vec![
+        ("left".into(), &p.left),
+        ("right".into(), &p.right),
+    ]);
+    let links: Vec<Link> = p.truth.iter().copied().collect();
+    fed.add_links(links);
+    // Cross-source join through sameAs: left-years of entities the right
+    // dataset also describes.
+    let query = parse(
+        "SELECT ?p ?y WHERE { \
+           ?p <http://dbpedia.example.org/ontology/year> ?y . \
+           ?p <http://nytimes.example.org/elements/fullName> ?n } LIMIT 100",
+    )
+    .unwrap();
+    c.bench_function("query_federated_sameas_join", |b| {
+        b.iter(|| black_box(fed.execute(&query)).len())
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_single_store, bench_federated);
+criterion_main!(benches);

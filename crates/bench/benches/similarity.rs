@@ -1,0 +1,63 @@
+//! Micro-benchmarks for the similarity kernels — the innermost loop of
+//! feature-set construction (every pair of attribute values of every
+//! candidate entity pair goes through `value_similarity`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use alex_rdf::{Date, Interner, Literal, Term};
+use alex_sim::{string, value_similarity, SimConfig, StringMetric};
+
+fn bench_string_metrics(c: &mut Criterion) {
+    let a = "LeBron Raymone James Sr.";
+    let b = "James, LeBron Raymone";
+    let mut g = c.benchmark_group("string_metrics");
+    g.bench_function("levenshtein", |bench| {
+        bench.iter(|| string::levenshtein_similarity(black_box(a), black_box(b)))
+    });
+    g.bench_function("jaro_winkler", |bench| {
+        bench.iter(|| string::jaro_winkler(black_box(a), black_box(b)))
+    });
+    g.bench_function("token_jaccard", |bench| {
+        bench.iter(|| string::token_jaccard(black_box(a), black_box(b)))
+    });
+    g.bench_function("trigram_jaccard", |bench| {
+        bench.iter(|| string::trigram_jaccard(black_box(a), black_box(b)))
+    });
+    g.bench_function("hybrid", |bench| {
+        bench.iter(|| StringMetric::Hybrid.apply(black_box(a), black_box(b)))
+    });
+    g.finish();
+}
+
+fn bench_value_similarity(c: &mut Criterion) {
+    let interner = Interner::new_shared();
+    let cfg = SimConfig::default();
+    let cases: Vec<(&str, Term, Term)> = vec![
+        (
+            "str_str",
+            Literal::str(&interner, "LeBron James").into(),
+            Literal::str(&interner, "James, LeBron").into(),
+        ),
+        ("int_int", Literal::Integer(1984).into(), Literal::Integer(1985).into()),
+        (
+            "date_date",
+            Literal::Date(Date::new(1984, 12, 30).unwrap()).into(),
+            Literal::Date(Date::new(1985, 1, 2).unwrap()).into(),
+        ),
+        (
+            "str_int_coerced",
+            Literal::str(&interner, "1984").into(),
+            Literal::Integer(1984).into(),
+        ),
+    ];
+    let mut g = c.benchmark_group("value_similarity");
+    for (name, a, b) in cases {
+        g.bench_function(name, |bench| {
+            bench.iter(|| value_similarity(black_box(&a), black_box(&b), &interner, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_string_metrics, bench_value_similarity);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benchmarks for the exploration space: the §6.1 pre-processing step
+//! (build + filter) and the §4.2 action primitive (range exploration).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use alex_core::{ExplorationSpace, FeatureSet, DEFAULT_MAX_BLOCK};
+use alex_datagen::{generate, GeneratedPair, PaperPair};
+use alex_sim::SimConfig;
+
+fn pair() -> GeneratedPair {
+    generate(&PaperPair::DbpediaNytimes.spec(0.3, 1))
+}
+
+fn bench_space_build(c: &mut Criterion) {
+    let p = pair();
+    let subjects: Vec<_> = p.left.subjects().collect();
+    let sim = SimConfig::default();
+    c.bench_function("space_build", |b| {
+        b.iter(|| {
+            let space =
+                ExplorationSpace::build(&p.left, &p.right, &subjects, &sim, 0.3, DEFAULT_MAX_BLOCK);
+            black_box(space.len())
+        })
+    });
+}
+
+fn bench_explore(c: &mut Criterion) {
+    let p = pair();
+    let subjects: Vec<_> = p.left.subjects().collect();
+    let sim = SimConfig::default();
+    let space = ExplorationSpace::build(&p.left, &p.right, &subjects, &sim, 0.3, DEFAULT_MAX_BLOCK);
+    // Pick a real state: a true link present in the space.
+    let link = p
+        .truth
+        .iter()
+        .find(|l| space.contains(**l))
+        .copied()
+        .expect("some true link is in the space");
+    let features: FeatureSet = space.feature_set(link).unwrap().clone();
+    let key = features.features()[0].key;
+    let center = features.features()[0].score;
+
+    let mut g = c.benchmark_group("explore");
+    g.bench_function("single_feature_range", |b| {
+        b.iter(|| black_box(space.explore(key, center, 0.05)).len())
+    });
+    g.bench_function("full_action_semantics", |b| {
+        b.iter(|| black_box(space.explore_from(&features, key, 0.05)).len())
+    });
+    g.bench_function("wide_step_0_2", |b| {
+        b.iter(|| black_box(space.explore_from(&features, key, 0.2)).len())
+    });
+    g.finish();
+}
+
+fn bench_feature_set_build(c: &mut Criterion) {
+    let p = pair();
+    let l = p.truth.iter().next().unwrap();
+    let left_entity = p.left.entity(l.left);
+    let right_entity = p.right.entity(l.right);
+    let sim = SimConfig::default();
+    c.bench_function("feature_set_build", |b| {
+        b.iter(|| {
+            black_box(FeatureSet::build(
+                &left_entity,
+                &right_entity,
+                p.left.interner(),
+                &sim,
+                0.3,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_space_build, bench_explore, bench_feature_set_build);
+criterion_main!(benches);

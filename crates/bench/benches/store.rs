@@ -1,0 +1,81 @@
+//! Micro-benchmarks for the RDF substrate: insertion, pattern matching,
+//! entity materialization, and N-Triples parsing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use alex_datagen::{generate, PaperPair};
+use alex_rdf::{ntriples, Interner, Store, Term};
+
+fn demo_store() -> Store {
+    generate(&PaperPair::DbpediaNytimes.spec(0.5, 1)).left
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let src = demo_store();
+    let triples: Vec<_> = src.iter().copied().collect();
+    let mut g = c.benchmark_group("store_insert");
+    g.throughput(Throughput::Elements(triples.len() as u64));
+    g.bench_function("bulk", |b| {
+        b.iter(|| {
+            let mut store = Store::new(src.interner().clone());
+            for t in &triples {
+                store.insert(*t);
+            }
+            black_box(store.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_match_pattern(c: &mut Criterion) {
+    let store = demo_store();
+    let subject = store.subjects().nth(10).expect("store has subjects");
+    let predicate = store.predicates().next().expect("store has predicates");
+    let object: Term = store.iter().nth(20).expect("store has triples").object;
+
+    let mut g = c.benchmark_group("store_match");
+    g.bench_function("by_subject", |b| {
+        b.iter(|| store.match_pattern(Some(black_box(subject)), None, None).count())
+    });
+    g.bench_function("by_predicate", |b| {
+        b.iter(|| store.match_pattern(None, Some(black_box(predicate)), None).count())
+    });
+    g.bench_function("by_object", |b| {
+        b.iter(|| store.match_pattern(None, None, Some(black_box(object))).count())
+    });
+    g.bench_function("full_scan", |b| {
+        b.iter(|| store.match_pattern(None, None, None).count())
+    });
+    g.finish();
+}
+
+fn bench_entity_view(c: &mut Criterion) {
+    let store = demo_store();
+    let subjects: Vec<_> = store.subjects().take(100).collect();
+    c.bench_function("store_entity_view_x100", |b| {
+        b.iter(|| {
+            subjects.iter().map(|&s| store.entity(s).arity()).sum::<usize>()
+        })
+    });
+}
+
+fn bench_ntriples(c: &mut Criterion) {
+    let store = demo_store();
+    let text = ntriples::write_string(&store);
+    let mut g = c.benchmark_group("ntriples");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("parse", |b| {
+        b.iter(|| {
+            let mut fresh = Store::new(Interner::new_shared());
+            ntriples::read_str(black_box(&text), &mut fresh).unwrap();
+            black_box(fresh.len())
+        })
+    });
+    g.bench_function("serialize", |b| {
+        b.iter(|| black_box(ntriples::write_string(&store).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_match_pattern, bench_entity_view, bench_ntriples);
+criterion_main!(benches);

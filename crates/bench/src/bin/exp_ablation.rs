@@ -1,0 +1,129 @@
+//! Ablation study for the reproduction's interpretation decisions
+//! (DESIGN.md §7): what happens to the paper's headline experiment
+//! (Figure 2(a), DBpedia–NYTimes) when each calibration decision is
+//! reverted.
+//!
+//! * **D2 (action semantics)** cannot be ablated via configuration — the
+//!   single-feature variant is exercised directly through
+//!   `ExplorationSpace::explore` and compared against `explore_from` on
+//!   action precision (fraction of correct links among those one action
+//!   returns).
+//! * **D1 (numeric similarity)** reverts to ratio similarity.
+//! * **blacklist/rollback** reproduce Figures 6/7 and are included for a
+//!   complete ablation grid.
+//!
+//! ```sh
+//! cargo run --release -p alex-bench --bin exp_ablation [--scale S]
+//! ```
+
+use alex_bench::runner::{build_env, RunParams};
+use alex_datagen::PaperPair;
+use alex_sim::NumericSim;
+
+fn main() {
+    let params = RunParams::from_args();
+    println!("Ablation grid on {} (final quality after a full run)\n", PaperPair::DbpediaNytimes.label());
+    println!("{:<34} | {:>5} | {:>6} | {:>5} | episodes", "variant", "P", "R", "F");
+    println!("{}", "-".repeat(72));
+
+    type Tweak = Box<dyn Fn(&mut alex_core::AlexConfig)>;
+    let variants: Vec<(&str, Tweak)> = vec![
+        ("baseline (all decisions on)", Box::new(|_c: &mut alex_core::AlexConfig| {})),
+        (
+            "D1 reverted: ratio numeric sim",
+            Box::new(|c: &mut alex_core::AlexConfig| c.sim.numeric = NumericSim::Ratio),
+        ),
+        ("no blacklist (Fig 6)", Box::new(|c: &mut alex_core::AlexConfig| c.blacklist = false)),
+        ("no rollback (Fig 7)", Box::new(|c: &mut alex_core::AlexConfig| c.rollback = false)),
+        (
+            "no blacklist, no rollback",
+            Box::new(|c: &mut alex_core::AlexConfig| {
+                c.blacklist = false;
+                c.rollback = false;
+            }),
+        ),
+    ];
+
+    for (name, tweak) in variants {
+        let env = build_env(PaperPair::DbpediaNytimes, params, |c| tweak(c));
+        let out = env.run_exact();
+        let q = out.final_quality();
+        println!(
+            "{:<34} | {:.3} | {:.3}  | {:.3} | {} (strict {:?})",
+            name,
+            q.precision,
+            q.recall,
+            q.f1,
+            out.reports.len() - 1,
+            out.strict_convergence,
+        );
+    }
+
+    // D2: per-action precision of the two exploration semantics, measured
+    // over every feature of every true link present in the space.
+    println!("\nD2: action precision — example semantics (single feature) vs full action vector");
+    let env = build_env(PaperPair::DbpediaNytimes, params, |_| {});
+    let driver = env.driver();
+    let mut single = Stats::default();
+    let mut full = Stats::default();
+    for engine in driver.engines() {
+        let space = engine.space();
+        for link in env.pair.truth.iter().filter(|l| space.contains(**l)) {
+            let fs = space.feature_set(*link).expect("contained link has features").clone();
+            for f in fs.features() {
+                let got = space.explore(f.key, f.score, env.config.step_size);
+                single.add(&got, &env.pair.truth);
+                let got = space.explore_from(&fs, f.key, env.config.step_size);
+                full.add(&got, &env.pair.truth);
+            }
+        }
+    }
+    println!(
+        "  single feature : {:>8} links returned, {:>6.1}% correct (avg {:.1}/action)",
+        single.total,
+        single.precision() * 100.0,
+        single.per_action()
+    );
+    println!(
+        "  full vector    : {:>8} links returned, {:>6.1}% correct (avg {:.1}/action)",
+        full.total,
+        full.precision() * 100.0,
+        full.per_action()
+    );
+    println!(
+        "\nThe full action vector returns far fewer, far more precise links per action;\n\
+         with single-feature semantics the junk inflow exceeds what feedback can clean\n\
+         (the Fig 7(a) collapse reproduced under *every* optimization setting)."
+    );
+}
+
+#[derive(Default)]
+struct Stats {
+    total: usize,
+    correct: usize,
+    actions: usize,
+}
+
+impl Stats {
+    fn add(&mut self, got: &[alex_rdf::Link], truth: &std::collections::HashSet<alex_rdf::Link>) {
+        self.actions += 1;
+        self.total += got.len();
+        self.correct += got.iter().filter(|l| truth.contains(l)).count();
+    }
+
+    fn precision(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    fn per_action(&self) -> f64 {
+        if self.actions == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.actions as f64
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! CLI command implementations.
+
+use std::collections::HashSet;
+use std::io::Read;
+
+use alex_core::{AlexConfig, AlexDriver, ExactOracle, SessionSnapshot};
+use alex_paris::{ParisConfig, ParisLinker};
+use alex_query::FederatedEngine;
+use alex_rdf::{Interner, Link, Term};
+
+use crate::io::{flag_value, flag_values, load_links, load_store, positionals, save_links};
+
+/// `alex stats <file>` — dataset summary.
+pub fn stats(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let [path] = pos.as_slice() else {
+        return Err("stats takes exactly one file".into());
+    };
+    let interner = Interner::new_shared();
+    let store = load_store(path, &interner)?;
+    let s = store.stats();
+    println!("{path}");
+    println!("  triples    : {}", s.triples);
+    println!("  subjects   : {}", s.subjects);
+    println!("  predicates : {}", s.predicates);
+    println!("  objects    : {}", s.objects);
+    // Top predicates by triple count.
+    let mut counts: Vec<(String, usize)> = store
+        .predicates()
+        .map(|p| {
+            let n = store.match_pattern(None, Some(p), None).count();
+            (store.iri_str(p).to_string(), n)
+        })
+        .collect();
+    counts.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+    println!("  top predicates:");
+    for (p, n) in counts.iter().take(8) {
+        println!("    {n:>8}  {p}");
+    }
+    Ok(())
+}
+
+/// `alex link <left> <right>` — run PARIS and emit owl:sameAs links.
+pub fn link(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let [left_path, right_path] = pos.as_slice() else {
+        return Err("link takes exactly two files".into());
+    };
+    let threshold: f64 = flag_value(args, "--threshold")
+        .map(|v| v.parse().map_err(|_| "--threshold must be a number".to_string()))
+        .transpose()?
+        .unwrap_or(0.95);
+
+    let interner = Interner::new_shared();
+    let left = load_store(left_path, &interner)?;
+    let right = load_store(right_path, &interner)?;
+    eprintln!(
+        "loaded {left_path} ({} triples) and {right_path} ({} triples)",
+        left.len(),
+        right.len()
+    );
+
+    let out = ParisLinker::new(ParisConfig::default()).run(&left, &right);
+    let links = out.above_threshold(threshold);
+    eprintln!(
+        "PARIS examined {} candidate pairs, kept {} links at threshold {threshold}",
+        out.candidates_examined,
+        links.len()
+    );
+
+    match flag_value(args, "--out") {
+        Some(path) => {
+            let n = save_links(&path, links, &interner)?;
+            eprintln!("wrote {n} links to {path}");
+        }
+        None => {
+            for l in links {
+                println!(
+                    "<{}> <{}> <{}> .",
+                    left.iri_str(l.left),
+                    alex_rdf::vocab::OWL_SAME_AS,
+                    right.iri_str(l.right)
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `alex query --source f [--source g] [--links l] [--query q]`.
+pub fn query(args: &[String]) -> Result<(), String> {
+    let sources = flag_values(args, "--source");
+    if sources.is_empty() {
+        return Err("query needs at least one --source".into());
+    }
+    let interner = Interner::new_shared();
+    let stores: Vec<(String, alex_rdf::Store)> = sources
+        .iter()
+        .map(|p| load_store(p, &interner).map(|s| (p.clone(), s)))
+        .collect::<Result<_, _>>()?;
+
+    let query_text = match flag_value(args, "--query") {
+        Some(q) => q,
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).map_err(|e| e.to_string())?;
+            buf
+        }
+    };
+    if query_text.trim().is_empty() {
+        return Err("empty query (pass --query or pipe on stdin)".into());
+    }
+
+    let mut fed =
+        FederatedEngine::new(stores.iter().map(|(n, s)| (n.clone(), s)).collect());
+    if let Some(links_path) = flag_value(args, "--links") {
+        let links = load_links(&links_path, &interner)?;
+        eprintln!("installed {} owl:sameAs links", links.len());
+        fed.add_links(links);
+    }
+
+    let answers = fed.execute_str(&query_text).map_err(|e| e.to_string())?;
+    eprintln!("{} answer(s)", answers.len());
+    for a in answers {
+        let rendered: Vec<String> = a
+            .row
+            .iter()
+            .map(|t| match t {
+                Some(Term::Iri(id)) => format!("<{}>", interner.resolve(id.0)),
+                Some(Term::Literal(l)) => format!("{:?}", l.lexical(&interner)),
+                None => "UNBOUND".to_owned(),
+            })
+            .collect();
+        if a.links.is_empty() {
+            println!("{}", rendered.join("\t"));
+        } else {
+            let prov: Vec<String> = a
+                .links
+                .iter()
+                .map(|l| format!("{}≡{}", interner.resolve(l.left.0), interner.resolve(l.right.0)))
+                .collect();
+            println!("{}\t# via {}", rendered.join("\t"), prov.join(", "));
+        }
+    }
+    Ok(())
+}
+
+/// `alex curate <left> <right> --links f --truth g` — run the feedback loop
+/// against a ground-truth oracle.
+pub fn curate(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let [left_path, right_path] = pos.as_slice() else {
+        return Err("curate takes exactly two dataset files".into());
+    };
+    let truth_path =
+        flag_value(args, "--truth").ok_or("curate needs --truth (ground-truth links)")?;
+
+    let interner = Interner::new_shared();
+    let left = load_store(left_path, &interner)?;
+    let right = load_store(right_path, &interner)?;
+    let truth: HashSet<Link> = load_links(&truth_path, &interner)?.into_iter().collect();
+
+    let mut cfg = AlexConfig {
+        episode_size: flag_value(args, "--episode-size")
+            .map(|v| v.parse().map_err(|_| "--episode-size must be an integer".to_string()))
+            .transpose()?
+            .unwrap_or_else(|| (truth.len() / 4).max(10)),
+        partitions: flag_value(args, "--partitions")
+            .map(|v| v.parse().map_err(|_| "--partitions must be an integer".to_string()))
+            .transpose()?
+            .unwrap_or(8),
+        ..Default::default()
+    };
+    if let Some(n) = flag_value(args, "--episodes") {
+        cfg.max_episodes = n.parse().map_err(|_| "--episodes must be an integer".to_string())?;
+    }
+
+    // Resume from a session snapshot, or start from --links.
+    let session_path = flag_value(args, "--session");
+    let mut driver = match &session_path {
+        Some(p) if std::path::Path::new(p).exists() => {
+            let text = std::fs::read_to_string(p).map_err(|e| e.to_string())?;
+            let snap = SessionSnapshot::from_json(&text).map_err(|e| e.to_string())?;
+            eprintln!(
+                "resuming session {p}: {} candidates, {} blacklisted",
+                snap.candidates.len(),
+                snap.blacklist.len()
+            );
+            snap.restore(&left, &right)?
+        }
+        _ => {
+            let links_path =
+                flag_value(args, "--links").ok_or("curate needs --links (initial links)")?;
+            let initial = load_links(&links_path, &interner)?;
+            eprintln!("starting from {} initial links", initial.len());
+            AlexDriver::new(&left, &right, &initial, cfg)?
+        }
+    };
+
+    let oracle = ExactOracle::new(truth.clone());
+    let outcome = driver.run(&oracle, &truth);
+    for r in &outcome.reports {
+        eprintln!(
+            "episode {:>3}: P {:.3} R {:.3} F {:.3} ({} links)",
+            r.episode, r.quality.precision, r.quality.recall, r.quality.f1, r.candidates
+        );
+    }
+    eprintln!(
+        "convergence: strict {:?}, relaxed {:?}",
+        outcome.strict_convergence, outcome.relaxed_convergence
+    );
+
+    if let Some(p) = &session_path {
+        let snap = SessionSnapshot::capture(&driver, &left, &right);
+        std::fs::write(p, snap.to_json()).map_err(|e| e.to_string())?;
+        eprintln!("saved session to {p}");
+    }
+    if let Some(out_path) = flag_value(args, "--out") {
+        let n = save_links(&out_path, outcome.final_links.iter().copied(), &interner)?;
+        eprintln!("wrote {n} curated links to {out_path}");
+    }
+    Ok(())
+}

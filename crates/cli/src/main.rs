@@ -1,0 +1,71 @@
+//! `alex` — command-line link curation.
+//!
+//! ```text
+//! alex stats  <data.nt|ttl>
+//! alex link   <left> <right> [--threshold T] [--out links.nt]
+//! alex query  --source <file>... [--links links.nt] <<< "SELECT ..."
+//! alex curate <left> <right> --links <links.nt> --truth <truth.nt>
+//!             [--episodes N] [--episode-size K] [--session file.json]
+//! ```
+//!
+//! `curate` simulates the paper's feedback loop against a ground-truth
+//! file (as the paper's own experiments do); a real deployment would wire
+//! [`alex_core::PartitionEngine::process_feedback`] to actual users via
+//! the federated query provenance (see `examples/federated_feedback.rs`).
+
+mod commands;
+mod io;
+
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "alex — Automatic Link Exploration in Linked Data (SIGMOD 2015 reproduction)
+
+USAGE:
+    alex stats  <FILE>
+    alex link   <LEFT> <RIGHT> [--threshold T] [--out FILE]
+    alex query  --source FILE [--source FILE ...] [--links FILE] [--query Q]
+    alex curate <LEFT> <RIGHT> --links FILE --truth FILE
+                [--episodes N] [--episode-size K] [--partitions P]
+                [--session FILE] [--out FILE]
+
+FILES:    .nt (N-Triples) or .ttl (Turtle), by extension.
+
+COMMANDS:
+    stats    Print triple/entity/predicate counts for one dataset.
+    link     Run the PARIS automatic linker over two datasets and emit
+             owl:sameAs links (default threshold 0.95).
+    query    Run a federated SPARQL query over one or more datasets,
+             optionally joined through owl:sameAs links; reads the query
+             from --query or stdin. Answers show their link provenance.
+    curate   Run ALEX against a ground-truth oracle, starting from --links,
+             and write the curated links. --session saves a resumable
+             snapshot (and resumes from it if the file exists)."
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "stats" => commands::stats(rest),
+        "link" => commands::link(rest),
+        "query" => commands::query(rest),
+        "curate" => commands::curate(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Feedback oracles: the simulated user.
+//!
+//! The paper generates feedback by sampling a candidate link and comparing
+//! it with the ground truth (§7.1 "Generating Feedback"); Appendix C
+//! additionally flips a fraction of the answers to model user error, and
+//! §3.2 notes that "a user is not required to provide feedback on each
+//! query answer". The three oracle types here model exactly those three
+//! behaviours and compose.
+
+use std::collections::HashSet;
+
+use alex_rdf::Link;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A source of approve/reject judgements on links.
+///
+/// `judge` returns `Some(true)` to approve, `Some(false)` to reject, and
+/// `None` when the user declines to give feedback. Implementations must be
+/// `Sync`: partitions consult the oracle concurrently, each with its own
+/// RNG.
+pub trait FeedbackOracle: Sync {
+    /// Judges one link.
+    fn judge(&self, link: Link, rng: &mut StdRng) -> Option<bool>;
+}
+
+/// Ground-truth oracle: approves exactly the links present in the truth set.
+#[derive(Clone, Debug)]
+pub struct ExactOracle {
+    truth: HashSet<Link>,
+}
+
+impl ExactOracle {
+    /// Creates an oracle over a ground-truth set.
+    pub fn new(truth: HashSet<Link>) -> Self {
+        Self { truth }
+    }
+
+    /// The ground truth this oracle consults.
+    pub fn truth(&self) -> &HashSet<Link> {
+        &self.truth
+    }
+}
+
+impl FeedbackOracle for ExactOracle {
+    fn judge(&self, link: Link, _rng: &mut StdRng) -> Option<bool> {
+        Some(self.truth.contains(&link))
+    }
+}
+
+/// Wraps an oracle and flips each judgement with probability `error_rate`
+/// (Appendix C uses 0.1).
+#[derive(Clone, Debug)]
+pub struct NoisyOracle<O> {
+    inner: O,
+    error_rate: f64,
+}
+
+impl<O: FeedbackOracle> NoisyOracle<O> {
+    /// Creates a flipping wrapper. `error_rate` must be in `[0, 1]`.
+    pub fn new(inner: O, error_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&error_rate), "error_rate out of range: {error_rate}");
+        Self { inner, error_rate }
+    }
+}
+
+impl<O: FeedbackOracle> FeedbackOracle for NoisyOracle<O> {
+    fn judge(&self, link: Link, rng: &mut StdRng) -> Option<bool> {
+        self.inner.judge(link, rng).map(|v| if rng.gen_bool(self.error_rate) { !v } else { v })
+    }
+}
+
+/// Wraps an oracle and withholds feedback with probability
+/// `1 − response_rate` (modeling users who skip answers, §3.2).
+#[derive(Clone, Debug)]
+pub struct ReluctantOracle<O> {
+    inner: O,
+    response_rate: f64,
+}
+
+impl<O: FeedbackOracle> ReluctantOracle<O> {
+    /// Creates a withholding wrapper. `response_rate` must be in `[0, 1]`.
+    pub fn new(inner: O, response_rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&response_rate), "response_rate out of range: {response_rate}");
+        Self { inner, response_rate }
+    }
+}
+
+impl<O: FeedbackOracle> FeedbackOracle for ReluctantOracle<O> {
+    fn judge(&self, link: Link, rng: &mut StdRng) -> Option<bool> {
+        if rng.gen_bool(self.response_rate) {
+            self.inner.judge(link, rng)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alex_rdf::{Interner, IriId};
+    use rand::SeedableRng;
+
+    fn two_links() -> (Link, Link) {
+        let i = Interner::new();
+        (
+            Link::new(IriId(i.intern("l1")), IriId(i.intern("r1"))),
+            Link::new(IriId(i.intern("l2")), IriId(i.intern("r2"))),
+        )
+    }
+
+    #[test]
+    fn exact_oracle_matches_truth() {
+        let (good, bad) = two_links();
+        let oracle = ExactOracle::new([good].into_iter().collect());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(oracle.judge(good, &mut rng), Some(true));
+        assert_eq!(oracle.judge(bad, &mut rng), Some(false));
+        assert_eq!(oracle.truth().len(), 1);
+    }
+
+    #[test]
+    fn noisy_oracle_flips_at_configured_rate() {
+        let (good, _) = two_links();
+        let oracle = NoisyOracle::new(ExactOracle::new([good].into_iter().collect()), 0.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut flipped = 0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if oracle.judge(good, &mut rng) == Some(false) {
+                flipped += 1;
+            }
+        }
+        let rate = flipped as f64 / N as f64;
+        assert!((rate - 0.1).abs() < 0.01, "flip rate {rate}");
+    }
+
+    #[test]
+    fn noisy_zero_and_one_are_deterministic() {
+        let (good, _) = two_links();
+        let truth: HashSet<Link> = [good].into_iter().collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let clean = NoisyOracle::new(ExactOracle::new(truth.clone()), 0.0);
+        let inverted = NoisyOracle::new(ExactOracle::new(truth), 1.0);
+        for _ in 0..100 {
+            assert_eq!(clean.judge(good, &mut rng), Some(true));
+            assert_eq!(inverted.judge(good, &mut rng), Some(false));
+        }
+    }
+
+    #[test]
+    fn reluctant_oracle_withholds() {
+        let (good, _) = two_links();
+        let oracle = ReluctantOracle::new(ExactOracle::new([good].into_iter().collect()), 0.25);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut answered = 0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            if oracle.judge(good, &mut rng).is_some() {
+                answered += 1;
+            }
+        }
+        let rate = answered as f64 / N as f64;
+        assert!((rate - 0.25).abs() < 0.02, "response rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "error_rate out of range")]
+    fn noisy_rejects_bad_rate() {
+        let (good, _) = two_links();
+        let _ = NoisyOracle::new(ExactOracle::new([good].into_iter().collect()), 1.5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Equal-size round-robin partitioning (paper §6.2).
+//!
+//! "Equal-size partitioning divides the larger data set into equal-sized
+//! partitions in a round-robin fashion. That is, the *i*th entity is in
+//! partition *i mod n*." Partitions are explored independently — by
+//! construction a link's left entity lives in exactly one partition, so no
+//! communication is needed.
+
+use alex_rdf::IriId;
+
+/// Splits `subjects` into `n` round-robin partitions. Sizes differ by at
+/// most one; empty partitions occur only when `n > subjects.len()`.
+pub fn round_robin(subjects: &[IriId], n: usize) -> Vec<Vec<IriId>> {
+    assert!(n > 0, "partition count must be positive");
+    let mut parts: Vec<Vec<IriId>> = (0..n).map(|k| Vec::with_capacity(subjects.len() / n + usize::from(k < subjects.len() % n))).collect();
+    for (i, &s) in subjects.iter().enumerate() {
+        parts[i % n].push(s);
+    }
+    parts
+}
+
+/// Index of the partition owning entity position `i` under `n`-way
+/// round-robin partitioning.
+#[inline]
+pub fn partition_of(i: usize, n: usize) -> usize {
+    i % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alex_rdf::Interner;
+
+    fn subjects(n: usize) -> Vec<IriId> {
+        let i = Interner::new();
+        (0..n).map(|k| IriId(i.intern(&format!("e{k}")))).collect()
+    }
+
+    #[test]
+    fn sizes_differ_by_at_most_one() {
+        let s = subjects(100);
+        let parts = round_robin(&s, 27);
+        let min = parts.iter().map(Vec::len).min().unwrap();
+        let max = parts.iter().map(Vec::len).max().unwrap();
+        assert!(max - min <= 1);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn round_robin_assignment_matches_mod() {
+        let s = subjects(10);
+        let parts = round_robin(&s, 3);
+        for (i, &subj) in s.iter().enumerate() {
+            assert!(parts[partition_of(i, 3)].contains(&subj));
+        }
+        assert_eq!(parts[0], vec![s[0], s[3], s[6], s[9]]);
+        assert_eq!(parts[1], vec![s[1], s[4], s[7]]);
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_cover() {
+        let s = subjects(57);
+        let parts = round_robin(&s, 8);
+        let mut seen = std::collections::HashSet::new();
+        for p in &parts {
+            for x in p {
+                assert!(seen.insert(*x), "duplicate {x:?}");
+            }
+        }
+        assert_eq!(seen.len(), 57);
+    }
+
+    #[test]
+    fn more_partitions_than_subjects() {
+        let s = subjects(3);
+        let parts = round_robin(&s, 10);
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 3);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_partitions_panics() {
+        round_robin(&subjects(3), 0);
+    }
+
+    #[test]
+    fn single_partition_is_identity() {
+        let s = subjects(5);
+        let parts = round_robin(&s, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], s);
+    }
+}

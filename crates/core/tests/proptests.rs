@@ -1,0 +1,307 @@
+//! Property-based tests for ALEX's core data structures and invariants.
+
+use std::collections::HashSet;
+
+use alex_core::{
+    round_robin, AlexConfig, CandidateSet, ExplorationSpace, FeatureSet, Policy, QTable, Quality,
+    DEFAULT_MAX_BLOCK,
+};
+use alex_rdf::{Interner, IriId, Link, Literal, Store};
+use alex_sim::SimConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn link(i: &Interner, a: u32, b: u32) -> Link {
+    Link::new(IriId(i.intern(&format!("l{a}"))), IriId(i.intern(&format!("r{b}"))))
+}
+
+// ---------------------------------------------------------------- candidates
+
+#[derive(Clone, Debug)]
+enum SetOp {
+    Insert(u32, u32),
+    Remove(u32, u32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<SetOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..20, 0u32..20).prop_map(|(a, b)| SetOp::Insert(a, b)),
+            (0u32..20, 0u32..20).prop_map(|(a, b)| SetOp::Remove(a, b)),
+        ],
+        0..200,
+    )
+}
+
+proptest! {
+    /// CandidateSet behaves exactly like a HashSet under arbitrary
+    /// insert/remove interleavings (model-based test of the swap-remove
+    /// index maintenance).
+    #[test]
+    fn candidate_set_matches_model(ops in arb_ops()) {
+        let interner = Interner::new();
+        let mut set = CandidateSet::new();
+        let mut model: HashSet<Link> = HashSet::new();
+        for op in ops {
+            match op {
+                SetOp::Insert(a, b) => {
+                    let l = link(&interner, a, b);
+                    prop_assert_eq!(set.insert(l), model.insert(l));
+                }
+                SetOp::Remove(a, b) => {
+                    let l = link(&interner, a, b);
+                    prop_assert_eq!(set.remove(l), model.remove(&l));
+                }
+            }
+            prop_assert_eq!(set.len(), model.len());
+        }
+        prop_assert_eq!(set.to_set(), model);
+    }
+
+    /// Sampling only ever returns members.
+    #[test]
+    fn candidate_sample_is_member(pairs in proptest::collection::vec((0u32..30, 0u32..30), 1..40), seed in 0u64..1000) {
+        let interner = Interner::new();
+        let set = CandidateSet::from_links(pairs.iter().map(|&(a, b)| link(&interner, a, b)));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let s = set.sample(&mut rng).unwrap();
+            prop_assert!(set.contains(s));
+        }
+    }
+
+    // ---------------------------------------------------------------- partition
+
+    /// Round-robin partitioning is a partition: disjoint, covering, and
+    /// balanced to within one element.
+    #[test]
+    fn round_robin_is_balanced_partition(n_subjects in 0usize..200, n_parts in 1usize..40) {
+        let interner = Interner::new();
+        let subjects: Vec<IriId> =
+            (0..n_subjects).map(|k| IriId(interner.intern(&format!("s{k}")))).collect();
+        let parts = round_robin(&subjects, n_parts);
+        prop_assert_eq!(parts.len(), n_parts);
+        let mut seen = HashSet::new();
+        for p in &parts {
+            for s in p {
+                prop_assert!(seen.insert(*s), "duplicate subject");
+            }
+        }
+        prop_assert_eq!(seen.len(), n_subjects);
+        let min = parts.iter().map(Vec::len).min().unwrap();
+        let max = parts.iter().map(Vec::len).max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    // ---------------------------------------------------------------- Q table
+
+    /// Q(s,a) is always the arithmetic mean of the appended rewards.
+    #[test]
+    fn q_is_mean_of_returns(rewards in proptest::collection::vec(-5.0f64..5.0, 1..50)) {
+        let interner = Interner::new();
+        let s = link(&interner, 0, 0);
+        let a = alex_core::FeatureKey::new(IriId(interner.intern("p")), IriId(interner.intern("q")));
+        let mut q = QTable::new();
+        for &r in &rewards {
+            q.append(s, a, r);
+        }
+        let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
+        prop_assert!((q.q(s, a).unwrap() - mean).abs() < 1e-9);
+        prop_assert_eq!(q.observations(s, a), rewards.len() as u32);
+    }
+
+    // ---------------------------------------------------------------- metrics
+
+    /// Quality stays in bounds and F is the harmonic mean.
+    #[test]
+    fn quality_bounds_and_f1(correct in 0usize..50, wrong in 0usize..50, missed in 0usize..50) {
+        let interner = Interner::new();
+        let mut cands = HashSet::new();
+        let mut truth = HashSet::new();
+        for k in 0..correct {
+            let l = link(&interner, k as u32, k as u32);
+            cands.insert(l);
+            truth.insert(l);
+        }
+        for k in 0..wrong {
+            cands.insert(link(&interner, 100 + k as u32, 200 + k as u32));
+        }
+        for k in 0..missed {
+            truth.insert(link(&interner, 300 + k as u32, 300 + k as u32));
+        }
+        let q = Quality::compute(&cands, &truth);
+        prop_assert!((0.0..=1.0).contains(&q.precision));
+        prop_assert!((0.0..=1.0).contains(&q.recall));
+        prop_assert!((0.0..=1.0).contains(&q.f1));
+        if q.precision + q.recall > 0.0 {
+            let expect = 2.0 * q.precision * q.recall / (q.precision + q.recall);
+            prop_assert!((q.f1 - expect).abs() < 1e-12);
+        }
+        prop_assert!(q.f1 <= q.precision.max(q.recall) + 1e-12);
+    }
+}
+
+// ------------------------------------------------------------------- space
+
+/// Generates a small two-store world with `n` named entity pairs.
+fn build_world(names: &[String]) -> (Store, Store, Vec<IriId>) {
+    let interner = Interner::new_shared();
+    let mut left = Store::new(interner.clone());
+    let mut right = Store::new(interner.clone());
+    let name_l = left.intern_iri("l/name");
+    let year_l = left.intern_iri("l/year");
+    let name_r = right.intern_iri("r/label");
+    let year_r = right.intern_iri("r/born");
+    let mut subjects = Vec::new();
+    for (i, nm) in names.iter().enumerate() {
+        let ls = left.intern_iri(&format!("l/e{i}"));
+        left.insert_literal(ls, name_l, Literal::str(&interner, nm));
+        left.insert_literal(ls, year_l, Literal::Integer(1900 + (i as i64 % 70)));
+        subjects.push(ls);
+        let rs = right.intern_iri(&format!("r/e{i}"));
+        right.insert_literal(rs, name_r, Literal::str(&interner, nm));
+        right.insert_literal(rs, year_r, Literal::Integer(1900 + (i as i64 % 70)));
+    }
+    (left, right, subjects)
+}
+
+fn arb_names() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-z]{3,8} [a-z]{3,8}", 2..15)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `explore_from` results always (1) exist in the space, (2) satisfy
+    /// the explored-feature range, and (3) satisfy the shared-feature
+    /// lower bounds — checked against a brute-force scan of the space.
+    #[test]
+    fn explore_from_matches_spec(names in arb_names(), step in 0.01f64..0.3) {
+        let (left, right, subjects) = build_world(&names);
+        let space = ExplorationSpace::build(
+            &left, &right, &subjects, &SimConfig::default(), 0.3, DEFAULT_MAX_BLOCK,
+        );
+        let Some(state_link) = space.links().next() else { return Ok(()); };
+        let state: FeatureSet = space.feature_set(state_link).unwrap().clone();
+        for f in state.features() {
+            let got: HashSet<Link> = space.explore_from(&state, f.key, step).into_iter().collect();
+            // Soundness: every result satisfies the documented conditions.
+            for l in &got {
+                let cand = space.feature_set(*l).expect("result is in space");
+                let v = cand.score_of(f.key).expect("result has the explored feature");
+                prop_assert!(v >= f.score - step - 1e-12 && v <= f.score + step + 1e-12);
+                for sf in state.features() {
+                    if let Some(cv) = cand.score_of(sf.key) {
+                        prop_assert!(cv >= sf.score - step - 1e-12,
+                            "shared feature below bound: {cv} < {} - {step}", sf.score);
+                    }
+                }
+            }
+            // Completeness against brute force over the whole space.
+            let n = state.len();
+            let required = n.div_ceil(2).max(2.min(n));
+            for l in space.links() {
+                if got.contains(&l) {
+                    continue;
+                }
+                let cand = space.feature_set(l).unwrap();
+                let Some(v) = cand.score_of(f.key) else { continue };
+                if !(v >= f.score - step && v <= f.score + step) {
+                    continue;
+                }
+                let mut shared = 0usize;
+                let mut violated = false;
+                for sf in state.features() {
+                    if sf.key == f.key {
+                        shared += 1;
+                        continue;
+                    }
+                    match cand.score_of(sf.key) {
+                        Some(cv) if cv >= sf.score - step => shared += 1,
+                        Some(_) => violated = true,
+                        None => {}
+                    }
+                }
+                prop_assert!(
+                    violated || shared < required,
+                    "brute force found a qualifying link the range query missed: {l:?}"
+                );
+            }
+        }
+    }
+
+    /// Feature sets in a built space always respect θ and uniqueness.
+    #[test]
+    fn space_feature_sets_respect_theta(names in arb_names(), theta in 0.1f64..0.9) {
+        let (left, right, subjects) = build_world(&names);
+        let space = ExplorationSpace::build(
+            &left, &right, &subjects, &SimConfig::default(), theta, DEFAULT_MAX_BLOCK,
+        );
+        for l in space.links() {
+            let fs = space.feature_set(l).unwrap();
+            prop_assert!(!fs.is_empty());
+            let mut keys = HashSet::new();
+            for f in fs.features() {
+                prop_assert!(f.score >= theta && f.score <= 1.0 + 1e-12, "score {}", f.score);
+                prop_assert!(keys.insert(f.key), "duplicate key");
+            }
+        }
+    }
+
+    /// The ε-greedy policy never returns an action outside the state's
+    /// feature set, and returns None only for empty feature sets.
+    #[test]
+    fn policy_actions_come_from_state(names in arb_names(), eps in 0.0f64..0.99, seed in 0u64..500) {
+        let (left, right, subjects) = build_world(&names);
+        let space = ExplorationSpace::build(
+            &left, &right, &subjects, &SimConfig::default(), 0.3, DEFAULT_MAX_BLOCK,
+        );
+        let Some(state_link) = space.links().next() else { return Ok(()); };
+        let fs = space.feature_set(state_link).unwrap();
+        let keys: HashSet<_> = fs.keys().collect();
+        let policy = Policy::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..30 {
+            let a = policy.choose(state_link, fs, eps, &mut rng).unwrap();
+            prop_assert!(keys.contains(&a));
+        }
+    }
+}
+
+// ----------------------------------------------------------------- engine
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Engine invariants hold under arbitrary feedback sequences:
+    /// blacklisted links are never candidates, and stats add up.
+    #[test]
+    fn engine_invariants_under_random_feedback(
+        names in arb_names(),
+        verdicts in proptest::collection::vec(any::<bool>(), 1..100),
+        seed in 0u64..100,
+    ) {
+        let (left, right, subjects) = build_world(&names);
+        let cfg = AlexConfig::default();
+        let space = ExplorationSpace::build(
+            &left, &right, &subjects, &cfg.sim, cfg.theta, DEFAULT_MAX_BLOCK,
+        );
+        let initial: Vec<Link> = space.links().take(3).collect();
+        if initial.is_empty() {
+            return Ok(());
+        }
+        let mut engine = alex_core::PartitionEngine::new(space, initial, cfg, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for verdict in verdicts {
+            let Some(l) = engine.candidates().sample(&mut rng) else { break };
+            engine.process_feedback(l, verdict);
+            // Blacklist and candidates are disjoint.
+            for b in engine.blacklist() {
+                prop_assert!(!engine.candidates().contains(*b));
+            }
+        }
+        let stats = engine.end_episode();
+        prop_assert!(stats.negative_feedback <= stats.feedback_items);
+    }
+}

@@ -1,0 +1,136 @@
+//! Candidate-set degraders: construct initial link sets with a target
+//! precision and recall.
+//!
+//! The paper's experiments start from PARIS output, which happens to land
+//! in three characteristic regimes (good P / bad R, bad P / good R, both
+//! bad). To reproduce each figure's starting point exactly — independent of
+//! how our rebuilt PARIS calibrates — the experiment harness synthesizes
+//! the initial candidate set at the figure's starting quality and lets
+//! ALEX take it from there. DESIGN.md documents this substitution.
+
+use std::collections::HashSet;
+
+use alex_rdf::Link;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::generator::truth_sides;
+
+/// Builds an initial candidate set with approximately the given `precision`
+/// and `recall` against `truth`.
+///
+/// Correct links are a uniform sample of `recall · |truth|` ground-truth
+/// links; wrong links pair a random ground-truth left entity with a random
+/// non-matching right entity until `correct / total = precision`.
+///
+/// # Panics
+///
+/// Panics when `precision` is not in `(0, 1]` or `recall` not in `[0, 1]`.
+pub fn degrade(truth: &HashSet<Link>, precision: f64, recall: f64, rng: &mut StdRng) -> Vec<Link> {
+    assert!(precision > 0.0 && precision <= 1.0, "precision out of (0,1]: {precision}");
+    assert!((0.0..=1.0).contains(&recall), "recall out of [0,1]: {recall}");
+
+    let mut all: Vec<Link> = truth.iter().copied().collect();
+    all.sort_unstable();
+    all.shuffle(rng);
+    let correct_n = ((recall * truth.len() as f64).round() as usize).min(all.len());
+    let mut out: Vec<Link> = all[..correct_n].to_vec();
+
+    let wrong_n = ((correct_n as f64 / precision).round() as usize).saturating_sub(correct_n);
+    let (lefts, rights) = truth_sides(truth);
+    if !lefts.is_empty() && !rights.is_empty() {
+        let mut seen: HashSet<Link> = out.iter().copied().collect();
+        let mut attempts = 0usize;
+        let max_attempts = wrong_n.saturating_mul(50) + 1000;
+        while out.len() < correct_n + wrong_n && attempts < max_attempts {
+            attempts += 1;
+            let l = lefts[rng.gen_range(0..lefts.len())];
+            let r = rights[rng.gen_range(0..rights.len())];
+            let link = Link::new(l, r);
+            if truth.contains(&link) || !seen.insert(link) {
+                continue;
+            }
+            out.push(link);
+        }
+    }
+    out
+}
+
+/// Measures the exact precision/recall a degraded set achieved (degraders
+/// are approximate for tiny truths; experiments report the measured start).
+pub fn measure(candidates: &[Link], truth: &HashSet<Link>) -> (f64, f64) {
+    let correct = candidates.iter().filter(|l| truth.contains(l)).count() as f64;
+    let p = if candidates.is_empty() { 1.0 } else { correct / candidates.len() as f64 };
+    let r = if truth.is_empty() { 1.0 } else { correct / truth.len() as f64 };
+    (p, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alex_rdf::{Interner, IriId};
+    use rand::SeedableRng;
+
+    fn truth(n: usize) -> HashSet<Link> {
+        let i = Interner::new();
+        (0..n)
+            .map(|k| Link::new(IriId(i.intern(&format!("l{k}"))), IriId(i.intern(&format!("r{k}")))))
+            .collect()
+    }
+
+    #[test]
+    fn hits_requested_quality() {
+        let t = truth(500);
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(p, r) in &[(0.85, 0.2), (0.3, 0.95), (0.35, 0.3), (1.0, 1.0)] {
+            let cand = degrade(&t, p, r, &mut rng);
+            let (mp, mr) = measure(&cand, &t);
+            assert!((mp - p).abs() < 0.05, "precision {mp} vs {p}");
+            assert!((mr - r).abs() < 0.05, "recall {mr} vs {r}");
+        }
+    }
+
+    #[test]
+    fn zero_recall_gives_empty() {
+        let t = truth(50);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cand = degrade(&t, 0.5, 0.0, &mut rng);
+        assert!(cand.is_empty());
+    }
+
+    #[test]
+    fn no_duplicates_and_wrong_links_are_wrong() {
+        let t = truth(100);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cand = degrade(&t, 0.4, 0.8, &mut rng);
+        let set: HashSet<Link> = cand.iter().copied().collect();
+        assert_eq!(set.len(), cand.len(), "duplicates found");
+        let wrong = cand.iter().filter(|l| !t.contains(l)).count();
+        assert!(wrong > 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = truth(100);
+        let a = degrade(&t, 0.5, 0.5, &mut StdRng::seed_from_u64(9));
+        let b = degrade(&t, 0.5, 0.5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision out of")]
+    fn rejects_zero_precision() {
+        let t = truth(10);
+        degrade(&t, 0.0, 0.5, &mut StdRng::seed_from_u64(1));
+    }
+
+    #[test]
+    fn measure_edge_cases() {
+        let t = truth(10);
+        assert_eq!(measure(&[], &t), (1.0, 0.0));
+        let all: Vec<Link> = t.iter().copied().collect();
+        assert_eq!(measure(&all, &t), (1.0, 1.0));
+        assert_eq!(measure(&all, &HashSet::new()), (0.0, 1.0));
+    }
+}

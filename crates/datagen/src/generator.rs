@@ -1,0 +1,360 @@
+//! The pair generator: one shared world of individuals, rendered twice.
+//!
+//! Overlap individuals appear in both datasets (their cross-dataset entity
+//! pairs are the ground truth); extra individuals appear on one side only
+//! and act as distractors. Each dataset renders an individual through its
+//! own [`DatasetProfile`] — vocabulary, noise, missing attributes, typing
+//! discipline — so the two descriptions agree approximately, never exactly.
+
+use std::collections::HashSet;
+
+use alex_rdf::{Date, Interner, IriId, Link, Literal, Store};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::names;
+use crate::noise::jitter_int;
+use crate::profile::{DatasetProfile, EntityKind};
+
+/// One real-world individual of the shared world.
+#[derive(Clone, Debug)]
+pub struct Individual {
+    /// What kind of thing it is.
+    pub kind: EntityKind,
+    /// Canonical name.
+    pub name: String,
+    /// Optional alias.
+    pub alt_name: Option<String>,
+    /// Birth/founding year.
+    pub year: i64,
+    /// Precise date (persons and players).
+    pub date: Option<Date>,
+    /// A numeric magnitude.
+    pub quantity: f64,
+    /// A short identifying code.
+    pub code: Option<String>,
+    /// An affiliation string.
+    pub affiliation: Option<String>,
+}
+
+impl Individual {
+    /// Samples one individual of `kind`.
+    pub fn sample(kind: EntityKind, rng: &mut StdRng) -> Self {
+        let (name, code, affiliation) = match kind {
+            EntityKind::Person => (names::person(rng), None, Some(names::organization(rng))),
+            EntityKind::Organization => (names::organization(rng), None, Some(names::place(rng))),
+            EntityKind::Place => (names::place(rng), Some(names::iso_code(rng)), None),
+            EntityKind::Drug => (names::drug(rng), Some(names::formula(rng)), None),
+            EntityKind::Language => (names::language(rng), Some(names::iso_code(rng)), None),
+            EntityKind::Conference => (names::conference(rng), None, Some(names::place(rng))),
+            EntityKind::Player => (names::person(rng), None, Some(names::team(rng))),
+        };
+        let year = match kind {
+            EntityKind::Person | EntityKind::Player => rng.gen_range(1940..2000),
+            EntityKind::Conference => rng.gen_range(1990..2015),
+            _ => rng.gen_range(1800..2010),
+        };
+        let date = matches!(kind, EntityKind::Person | EntityKind::Player).then(|| {
+            Date::new(year as i32, rng.gen_range(1..=12), rng.gen_range(1..=28))
+                .expect("day ≤ 28 is always valid")
+        });
+        let alt_name = rng.gen_bool(0.4).then(|| crate::noise::abbreviate(&name));
+        Self {
+            kind,
+            name,
+            alt_name,
+            year,
+            date,
+            quantity: rng.gen_range(1.0..1000.0),
+            code,
+            affiliation,
+        }
+    }
+}
+
+/// Specification of one dataset pair to generate.
+#[derive(Clone, Debug)]
+pub struct PairSpec {
+    /// Display name of the pair ("DBpedia - NYTimes").
+    pub name: String,
+    /// Left (larger, partitioned) dataset profile.
+    pub left: DatasetProfile,
+    /// Right dataset profile.
+    pub right: DatasetProfile,
+    /// Individuals present in both datasets (= ground-truth link count).
+    pub overlap: usize,
+    /// Individuals present only in the left dataset.
+    pub left_extra: usize,
+    /// Individuals present only in the right dataset.
+    pub right_extra: usize,
+    /// Entity-kind mixture, weighted.
+    pub kinds: Vec<(EntityKind, f64)>,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+/// A generated dataset pair with its ground truth.
+#[derive(Clone, Debug)]
+pub struct GeneratedPair {
+    /// Pair display name.
+    pub name: String,
+    /// Left dataset.
+    pub left: Store,
+    /// Right dataset.
+    pub right: Store,
+    /// Ground-truth links (left entity ↔ right entity).
+    pub truth: HashSet<Link>,
+}
+
+fn pick_kind(kinds: &[(EntityKind, f64)], rng: &mut StdRng) -> EntityKind {
+    let total: f64 = kinds.iter().map(|(_, w)| w).sum();
+    let mut t = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    for &(k, w) in kinds {
+        if t < w {
+            return k;
+        }
+        t -= w;
+    }
+    kinds.last().expect("kind mixture must be non-empty").0
+}
+
+fn slug(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    s.truncate(48);
+    s
+}
+
+/// Renders `ind` into `store` under `profile`, returning the subject id.
+fn render(
+    ind: &Individual,
+    idx: usize,
+    store: &mut Store,
+    profile: &DatasetProfile,
+    interner: &Interner,
+    rng: &mut StdRng,
+) -> IriId {
+    let subject =
+        store.intern_iri(&format!("{}/resource/{}_{idx}", profile.namespace, slug(&ind.name)));
+    let v = &profile.vocab;
+    let keep = |rng: &mut StdRng, p: f64| !rng.gen_bool(p);
+
+    // The label is always present — an entity without any name would be
+    // unlinkable by any method, including the paper's.
+    let label = profile.noise.apply(&ind.name, rng);
+    let label_pred = store.intern_iri(&v.label);
+    store.insert_literal(subject, label_pred, Literal::str(interner, &label));
+
+    if let (Some(alt_pred), Some(alt)) = (&v.alt_label, &ind.alt_name) {
+        if keep(rng, profile.missing_attr) {
+            let p = store.intern_iri(alt_pred);
+            store.insert_literal(subject, p, Literal::str(interner, &profile.noise.apply(alt, rng)));
+        }
+    }
+
+    if keep(rng, profile.missing_attr) {
+        let year = if rng.gen_bool(profile.year_jitter) {
+            jitter_int(ind.year, 1, rng)
+        } else {
+            ind.year
+        };
+        let p = store.intern_iri(&v.year);
+        let lit = if profile.numbers_as_strings {
+            Literal::str(interner, &year.to_string())
+        } else {
+            Literal::Integer(year)
+        };
+        store.insert_literal(subject, p, lit);
+    }
+
+    if let (Some(date_pred), Some(date)) = (&v.date, ind.date) {
+        if keep(rng, profile.missing_attr) {
+            let p = store.intern_iri(date_pred);
+            store.insert_literal(subject, p, Literal::Date(date));
+        }
+    }
+
+    if let Some(q_pred) = &v.quantity {
+        if keep(rng, profile.missing_attr) {
+            let p = store.intern_iri(q_pred);
+            let noisy = ind.quantity + rng.gen_range(-0.5..0.5);
+            let lit = if profile.numbers_as_strings {
+                Literal::str(interner, &format!("{noisy:.1}"))
+            } else {
+                Literal::float(noisy)
+            };
+            store.insert_literal(subject, p, lit);
+        }
+    }
+
+    if let (Some(code_pred), Some(code)) = (&v.code, &ind.code) {
+        if keep(rng, profile.missing_attr) {
+            let p = store.intern_iri(code_pred);
+            store.insert_literal(subject, p, Literal::str(interner, code));
+        }
+    }
+
+    if let (Some(aff_pred), Some(aff)) = (&v.affiliation, &ind.affiliation) {
+        if keep(rng, profile.missing_attr) {
+            let p = store.intern_iri(aff_pred);
+            store.insert_literal(subject, p, Literal::str(interner, &profile.noise.apply(aff, rng)));
+        }
+    }
+
+    // rdf:type: a domain class (in the dataset's own naming style) plus the
+    // dataset's catch-all top class. Spelling conventions differ across
+    // datasets, so the (rdf:type, rdf:type) feature only fires when the
+    // classes genuinely resemble each other — occasionally producing the
+    // non-distinctive categorical feature §4.2 warns about, which the RL
+    // must learn to avoid, without flooding every same-kind pair.
+    let type_pred = store.intern_iri(alex_rdf::vocab::RDF_TYPE);
+    let class = store.intern_iri(&format!("{}{}", v.class_ns, v.class_style.render(ind.kind)));
+    store.insert_iri(subject, type_pred, class);
+    let top = store.intern_iri(&v.top_class);
+    store.insert_iri(subject, type_pred, top);
+
+    subject
+}
+
+/// Generates the pair described by `spec`. Deterministic in `spec.seed`.
+pub fn generate(spec: &PairSpec) -> GeneratedPair {
+    assert!(!spec.kinds.is_empty(), "kind mixture must be non-empty");
+    let interner = Interner::new_shared();
+    let mut left = Store::new(interner.clone());
+    let mut right = Store::new(interner.clone());
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    let mut truth = HashSet::with_capacity(spec.overlap);
+    for i in 0..spec.overlap {
+        let ind = Individual::sample(pick_kind(&spec.kinds, &mut rng), &mut rng);
+        let l = render(&ind, i, &mut left, &spec.left, &interner, &mut rng);
+        let r = render(&ind, i, &mut right, &spec.right, &interner, &mut rng);
+        truth.insert(Link::new(l, r));
+    }
+    for i in 0..spec.left_extra {
+        let ind = Individual::sample(pick_kind(&spec.kinds, &mut rng), &mut rng);
+        render(&ind, spec.overlap + i, &mut left, &spec.left, &interner, &mut rng);
+    }
+    for i in 0..spec.right_extra {
+        let ind = Individual::sample(pick_kind(&spec.kinds, &mut rng), &mut rng);
+        render(&ind, spec.overlap + spec.left_extra + i, &mut right, &spec.right, &interner, &mut rng);
+    }
+
+    GeneratedPair { name: spec.name.clone(), left, right, truth }
+}
+
+/// Convenience: both sides of every ground-truth link, for building wrong
+/// links in degraders and tests.
+pub fn truth_sides(truth: &HashSet<Link>) -> (Vec<IriId>, Vec<IriId>) {
+    let mut lefts: Vec<IriId> = truth.iter().map(|l| l.left).collect();
+    let mut rights: Vec<IriId> = truth.iter().map(|l| l.right).collect();
+    lefts.sort_unstable();
+    rights.sort_unstable();
+    (lefts, rights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> PairSpec {
+        PairSpec {
+            name: "test".into(),
+            left: DatasetProfile::dbpedia(),
+            right: DatasetProfile::nytimes(),
+            overlap: 30,
+            left_extra: 20,
+            right_extra: 10,
+            kinds: vec![(EntityKind::Person, 0.6), (EntityKind::Organization, 0.4)],
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generates_expected_counts() {
+        let pair = generate(&small_spec());
+        assert_eq!(pair.truth.len(), 30);
+        assert_eq!(pair.left.subject_count(), 50);
+        assert_eq!(pair.right.subject_count(), 40);
+        assert!(pair.left.len() > 100, "entities should have several triples");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate(&small_spec());
+        let b = generate(&small_spec());
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.left.len(), b.left.len());
+        // Triple-for-triple identical.
+        for t in a.left.iter() {
+            assert!(b.left.contains(t));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&small_spec());
+        let b = generate(&PairSpec { seed: 43, ..small_spec() });
+        assert_ne!(
+            alex_rdf::ntriples::write_string(&a.left),
+            alex_rdf::ntriples::write_string(&b.left)
+        );
+    }
+
+    #[test]
+    fn every_entity_has_a_label_and_types() {
+        let pair = generate(&small_spec());
+        let label = pair.left.intern_iri(&DatasetProfile::dbpedia().vocab.label);
+        let type_pred = pair.left.intern_iri(alex_rdf::vocab::RDF_TYPE);
+        for s in pair.left.subjects() {
+            assert!(pair.left.objects(s, label).next().is_some(), "missing label");
+            assert!(pair.left.objects(s, type_pred).count() >= 2, "missing types");
+        }
+    }
+
+    #[test]
+    fn truth_links_connect_existing_entities() {
+        let pair = generate(&small_spec());
+        let left_subjects: HashSet<IriId> = pair.left.subjects().collect();
+        let right_subjects: HashSet<IriId> = pair.right.subjects().collect();
+        for l in &pair.truth {
+            assert!(left_subjects.contains(&l.left));
+            assert!(right_subjects.contains(&l.right));
+        }
+    }
+
+    #[test]
+    fn vocabularies_are_disjoint_across_sides() {
+        let pair = generate(&small_spec());
+        let left_preds: HashSet<_> =
+            pair.left.predicates().map(|p| pair.left.iri_str(p)).collect();
+        let right_preds: HashSet<_> =
+            pair.right.predicates().map(|p| pair.right.iri_str(p)).collect();
+        let shared: Vec<_> = left_preds.intersection(&right_preds).collect();
+        // Only rdf:type may be shared.
+        assert!(
+            shared.iter().all(|p| &***p == alex_rdf::vocab::RDF_TYPE),
+            "unexpected shared predicates: {shared:?}"
+        );
+    }
+
+    #[test]
+    fn truth_sides_extracts_both_columns() {
+        let pair = generate(&small_spec());
+        let (l, r) = truth_sides(&pair.truth);
+        assert_eq!(l.len(), 30);
+        assert_eq!(r.len(), 30);
+    }
+
+    #[test]
+    fn individual_sampling_respects_kind() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Individual::sample(EntityKind::Person, &mut rng);
+        assert!(p.date.is_some());
+        let d = Individual::sample(EntityKind::Drug, &mut rng);
+        assert!(d.code.is_some());
+        assert!(d.date.is_none());
+    }
+}

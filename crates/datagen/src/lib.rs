@@ -1,0 +1,34 @@
+//! # alex-datagen — synthetic linked data for the ALEX experiments
+//!
+//! The paper evaluates on eight real LOD datasets (Table 1) that are not
+//! shippable with this repository. This crate generates structural stand-ins:
+//!
+//! * a shared world of [`Individual`]s (people, organizations, drugs,
+//!   languages, conferences, NBA players, …) rendered into *two* stores
+//!   through different [`DatasetProfile`]s — different predicate
+//!   vocabularies, typing disciplines, and noise levels — with the overlap
+//!   individuals forming the ground-truth `owl:sameAs` links;
+//! * [`noise`] operators (typos, token reordering, abbreviation, numeric
+//!   jitter) that create the approximate-match landscape ALEX explores;
+//! * [`PaperPair`] scenarios reproducing each experiment pair's domain
+//!   mixture, relative sizes, and figure-read starting quality;
+//! * [`degrade`], which synthesizes an initial candidate set at a target
+//!   precision/recall so each figure starts exactly where the paper's does.
+//!
+//! Everything is deterministic under a seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod corrupt;
+mod generator;
+pub mod names;
+pub mod noise;
+mod profile;
+mod scenarios;
+
+pub use corrupt::{degrade, measure};
+pub use generator::{generate, truth_sides, GeneratedPair, Individual, PairSpec};
+pub use noise::StringNoise;
+pub use profile::{ClassStyle, DatasetProfile, EntityKind, Vocabulary};
+pub use scenarios::PaperPair;

@@ -1,0 +1,195 @@
+//! Seeded attribute-noise operators.
+//!
+//! Real knowledge bases disagree on spelling, token order, abbreviations,
+//! and off-by-one numbers. These operators inject exactly those
+//! disagreements so that (a) the rebuilt PARIS baseline cannot trivially
+//! link everything and (b) ALEX's feature scores spread over `[θ, 1]`,
+//! which is what makes step-size exploration (paper §4.2, Appendix D)
+//! meaningful.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Applies one random typo: swap two adjacent characters, drop one,
+/// duplicate one, or replace one with a letter. Strings shorter than two
+/// characters are returned unchanged.
+pub fn typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 2 {
+        return s.to_owned();
+    }
+    let i = rng.gen_range(0..chars.len() - 1);
+    let mut out = chars.clone();
+    match rng.gen_range(0..4u8) {
+        0 => out.swap(i, i + 1),
+        1 => {
+            out.remove(i);
+        }
+        2 => out.insert(i, chars[i]),
+        _ => out[i] = char::from(b'a' + rng.gen_range(0..26u8)),
+    }
+    out.into_iter().collect()
+}
+
+/// Reorders the tokens of a two-or-more-token string as "rest, first"
+/// ("LeBron James" → "James, LeBron"); single tokens are unchanged.
+pub fn reorder(s: &str) -> String {
+    let mut tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.len() < 2 {
+        return s.to_owned();
+    }
+    let first = tokens.remove(0);
+    format!("{}, {}", tokens.join(" "), first)
+}
+
+/// Abbreviates the first token to its initial ("LeBron James" → "L. James").
+pub fn abbreviate(s: &str) -> String {
+    let mut tokens = s.split_whitespace();
+    match (tokens.next(), tokens.clone().next()) {
+        (Some(first), Some(_)) => {
+            let initial = first.chars().next().map(|c| format!("{c}.")).unwrap_or_default();
+            let rest: Vec<&str> = tokens.collect();
+            format!("{initial} {}", rest.join(" "))
+        }
+        _ => s.to_owned(),
+    }
+}
+
+/// Uppercases or lowercases the whole string.
+pub fn case_flip(s: &str, rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.5) {
+        s.to_uppercase()
+    } else {
+        s.to_lowercase()
+    }
+}
+
+/// Jitters an integer by ±`amount`.
+pub fn jitter_int(v: i64, amount: i64, rng: &mut StdRng) -> i64 {
+    v + rng.gen_range(-amount..=amount)
+}
+
+/// Applies string noise according to independent probabilities. Operators
+/// compose (a name can be both reordered and typo'd).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StringNoise {
+    /// Probability of one typo.
+    pub typo: f64,
+    /// Probability of token reordering.
+    pub reorder: f64,
+    /// Probability of abbreviation.
+    pub abbreviate: f64,
+    /// Probability of case flipping.
+    pub case_flip: f64,
+}
+
+impl StringNoise {
+    /// No noise at all.
+    pub const CLEAN: StringNoise =
+        StringNoise { typo: 0.0, reorder: 0.0, abbreviate: 0.0, case_flip: 0.0 };
+
+    /// Mild noise typical of well-curated KBs.
+    pub const MILD: StringNoise =
+        StringNoise { typo: 0.10, reorder: 0.05, abbreviate: 0.03, case_flip: 0.05 };
+
+    /// Heavy noise typical of extracted / crowd-sourced KBs.
+    pub const HEAVY: StringNoise =
+        StringNoise { typo: 0.30, reorder: 0.15, abbreviate: 0.10, case_flip: 0.10 };
+
+    /// Applies the configured noise to `s`.
+    pub fn apply(&self, s: &str, rng: &mut StdRng) -> String {
+        let mut out = s.to_owned();
+        if rng.gen_bool(self.reorder) {
+            out = reorder(&out);
+        }
+        if rng.gen_bool(self.abbreviate) {
+            out = abbreviate(&out);
+        }
+        if rng.gen_bool(self.typo) {
+            out = typo(&out, rng);
+        }
+        if rng.gen_bool(self.case_flip) {
+            out = case_flip(&out, rng);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn typo_changes_string_but_stays_close() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let t = typo("lebron james", &mut r);
+            let dist = alex_sim::string::levenshtein("lebron james", &t);
+            assert!(dist <= 2, "one typo is at most 2 edits (insert counts once): {t}");
+        }
+    }
+
+    #[test]
+    fn typo_on_short_strings_is_identity() {
+        let mut r = rng();
+        assert_eq!(typo("a", &mut r), "a");
+        assert_eq!(typo("", &mut r), "");
+    }
+
+    #[test]
+    fn reorder_known() {
+        assert_eq!(reorder("LeBron James"), "James, LeBron");
+        assert_eq!(reorder("LeBron Raymone James"), "Raymone James, LeBron");
+        assert_eq!(reorder("Single"), "Single");
+    }
+
+    #[test]
+    fn abbreviate_known() {
+        assert_eq!(abbreviate("LeBron James"), "L. James");
+        assert_eq!(abbreviate("Single"), "Single");
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = jitter_int(1984, 1, &mut r);
+            assert!((1983..=1985).contains(&v));
+        }
+    }
+
+    #[test]
+    fn clean_noise_is_identity() {
+        let mut r = rng();
+        assert_eq!(StringNoise::CLEAN.apply("LeBron James", &mut r), "LeBron James");
+    }
+
+    #[test]
+    fn heavy_noise_usually_perturbs() {
+        let mut r = rng();
+        let mut changed = 0;
+        for _ in 0..200 {
+            if StringNoise::HEAVY.apply("LeBron James", &mut r) != "LeBron James" {
+                changed += 1;
+            }
+        }
+        assert!(changed > 60, "heavy noise changed only {changed}/200");
+    }
+
+    #[test]
+    fn noise_is_deterministic_under_seed() {
+        let mut r1 = StdRng::seed_from_u64(99);
+        let mut r2 = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            assert_eq!(
+                StringNoise::HEAVY.apply("Kobe Bryant", &mut r1),
+                StringNoise::HEAVY.apply("Kobe Bryant", &mut r2)
+            );
+        }
+    }
+}

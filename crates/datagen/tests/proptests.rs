@@ -1,0 +1,109 @@
+//! Property-based tests for the data generator and degraders.
+
+use std::collections::HashSet;
+
+use alex_datagen::{degrade, generate, measure, DatasetProfile, EntityKind, PairSpec, PaperPair};
+use alex_rdf::{Interner, IriId, Link};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_spec() -> impl Strategy<Value = PairSpec> {
+    (2usize..40, 0usize..30, 0usize..30, any::<u64>()).prop_map(
+        |(overlap, left_extra, right_extra, seed)| PairSpec {
+            name: "prop".into(),
+            left: DatasetProfile::dbpedia(),
+            right: DatasetProfile::nytimes(),
+            overlap,
+            left_extra,
+            right_extra,
+            kinds: vec![
+                (EntityKind::Person, 0.5),
+                (EntityKind::Organization, 0.3),
+                (EntityKind::Place, 0.2),
+            ],
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Entity counts always match the spec, ground truth links connect
+    /// existing entities, and every entity has at least a label and types.
+    #[test]
+    fn generated_pairs_are_well_formed(spec in arb_spec()) {
+        let pair = generate(&spec);
+        prop_assert_eq!(pair.truth.len(), spec.overlap);
+        prop_assert_eq!(pair.left.subject_count(), spec.overlap + spec.left_extra);
+        prop_assert_eq!(pair.right.subject_count(), spec.overlap + spec.right_extra);
+
+        let left_entities: HashSet<IriId> = pair.left.subjects().collect();
+        let right_entities: HashSet<IriId> = pair.right.subjects().collect();
+        for l in &pair.truth {
+            prop_assert!(left_entities.contains(&l.left));
+            prop_assert!(right_entities.contains(&l.right));
+        }
+        for s in pair.left.subjects() {
+            prop_assert!(pair.left.entity(s).arity() >= 3, "label + 2 type triples minimum");
+        }
+    }
+
+    /// Generation is a pure function of the spec.
+    #[test]
+    fn generation_is_deterministic(spec in arb_spec()) {
+        let a = generate(&spec);
+        let b = generate(&spec);
+        prop_assert_eq!(a.truth, b.truth);
+        prop_assert_eq!(a.left.len(), b.left.len());
+        prop_assert_eq!(
+            alex_rdf::ntriples::write_string(&a.right),
+            alex_rdf::ntriples::write_string(&b.right)
+        );
+    }
+
+    /// The degrader lands within tolerance of any requested quality, for
+    /// any truth size where the target is representable.
+    #[test]
+    fn degrader_hits_targets(
+        n in 20usize..300,
+        precision in 0.2f64..1.0,
+        recall in 0.1f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let interner = Interner::new();
+        let truth: HashSet<Link> = (0..n)
+            .map(|k| {
+                Link::new(
+                    IriId(interner.intern(&format!("l{k}"))),
+                    IriId(interner.intern(&format!("r{k}"))),
+                )
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cand = degrade(&truth, precision, recall, &mut rng);
+        let (p, r) = measure(&cand, &truth);
+        prop_assert!((r - recall).abs() < 0.08, "recall {r} vs target {recall}");
+        // Precision can deviate when the wrong-link pool saturates (tiny
+        // truths at extreme targets), but must stay close normally.
+        let max_wrong = n * n - n;
+        let wanted_wrong = (recall * n as f64 / precision - recall * n as f64).round() as usize;
+        if wanted_wrong < max_wrong / 2 {
+            prop_assert!((p - precision).abs() < 0.12, "precision {p} vs target {precision}");
+        }
+        // No duplicates ever.
+        let set: HashSet<Link> = cand.iter().copied().collect();
+        prop_assert_eq!(set.len(), cand.len());
+    }
+
+    /// Paper pairs generate at any scale ≥ 0.1 with consistent truth size.
+    #[test]
+    fn paper_pairs_scale(scale in 0.1f64..1.5, seed in any::<u64>()) {
+        let kind = PaperPair::OpencycDrugbank;
+        let spec = kind.spec(scale, seed);
+        let pair = generate(&spec);
+        prop_assert_eq!(pair.truth.len(), spec.overlap);
+        prop_assert!(pair.truth.len() >= 10, "overlap floor");
+    }
+}

@@ -1,0 +1,197 @@
+//! Literal-key blocking: candidate pair generation without the cross
+//! product.
+//!
+//! Two entities can only be PARIS-equivalent if they share some literal
+//! evidence, so candidate pairs are drawn from inverted indexes of
+//! normalized literal values and of individual tokens. Keys that map to
+//! more than `max_block_size` entities on either side (stop words, common
+//! years, `owl:Thing`-style categoricals) are dropped — they would
+//! contribute quadratic noise and no identification evidence.
+
+use std::collections::{HashMap, HashSet};
+
+use alex_rdf::{IriId, Literal, Store, Term};
+use alex_sim::string::tokens;
+
+/// A blocking key: either a whole normalized literal or one token of it.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Key {
+    Whole(String),
+    Token(String),
+}
+
+fn keys_of(store: &Store, term: &Term) -> Vec<Key> {
+    let lit = match term {
+        Term::Literal(l) => l,
+        // IRIs contribute their local name as a whole-value key; linked
+        // datasets frequently reuse readable local names.
+        Term::Iri(id) => {
+            let iri = store.iri_str(*id);
+            let local = alex_sim::iri_local_name(&iri).to_lowercase();
+            if local.is_empty() {
+                return Vec::new();
+            }
+            return vec![Key::Whole(local)];
+        }
+    };
+    match lit {
+        Literal::Str(_) | Literal::LangStr { .. } => {
+            let text = lit.lexical(store.interner()).to_lowercase();
+            if text.is_empty() {
+                return Vec::new();
+            }
+            let mut keys = vec![Key::Whole(text.clone())];
+            for tok in tokens(&text) {
+                if tok.len() >= 3 {
+                    keys.push(Key::Token(tok));
+                }
+            }
+            keys
+        }
+        // Exact-value keys for non-strings: sharing a number/date is weak
+        // alone but combined with other evidence it seeds the fixpoint.
+        Literal::Integer(_) | Literal::Float(_) | Literal::Date(_) => {
+            vec![Key::Whole(lit.lexical(store.interner()).to_string())]
+        }
+        // Booleans partition the world in two; useless as keys.
+        Literal::Boolean(_) => Vec::new(),
+    }
+}
+
+fn index(store: &Store, max_block_size: usize) -> HashMap<Key, Vec<IriId>> {
+    let mut idx: HashMap<Key, HashSet<IriId>> = HashMap::new();
+    for t in store.iter() {
+        for key in keys_of(store, &t.object) {
+            idx.entry(key).or_default().insert(t.subject);
+        }
+    }
+    idx.into_iter()
+        .filter(|(_, v)| v.len() <= max_block_size)
+        .map(|(k, v)| {
+            let mut v: Vec<IriId> = v.into_iter().collect();
+            v.sort_unstable();
+            (k, v)
+        })
+        .collect()
+}
+
+/// Generates candidate `(left entity, right entity)` pairs from shared
+/// blocking keys. Output is sorted and duplicate-free, so downstream
+/// iteration is deterministic.
+pub fn candidate_pairs(left: &Store, right: &Store, max_block_size: usize) -> Vec<(IriId, IriId)> {
+    let left_idx = index(left, max_block_size);
+    let right_idx = index(right, max_block_size);
+    let mut pairs: HashSet<(IriId, IriId)> = HashSet::new();
+    for (key, ls) in &left_idx {
+        if let Some(rs) = right_idx.get(key) {
+            for &l in ls {
+                for &r in rs {
+                    pairs.insert((l, r));
+                }
+            }
+        }
+    }
+    let mut out: Vec<(IriId, IriId)> = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alex_rdf::Interner;
+
+    fn pair_stores() -> (Store, Store) {
+        let interner = Interner::new_shared();
+        (Store::new(interner.clone()), Store::new(interner))
+    }
+
+    #[test]
+    fn shared_name_creates_candidate() {
+        let (mut l, mut r) = pair_stores();
+        let interner = l.interner().clone();
+        let a = l.intern_iri("l/a");
+        let p = l.intern_iri("l/name");
+        l.insert_literal(a, p, Literal::str(&interner, "LeBron James"));
+        let b = r.intern_iri("r/b");
+        let q = r.intern_iri("r/fullname");
+        r.insert_literal(b, q, Literal::str(&interner, "lebron james"));
+        let c = r.intern_iri("r/c");
+        r.insert_literal(c, q, Literal::str(&interner, "Someone Else"));
+
+        let pairs = candidate_pairs(&l, &r, 50);
+        assert_eq!(pairs, vec![(a, b)]);
+    }
+
+    #[test]
+    fn token_overlap_creates_candidate() {
+        let (mut l, mut r) = pair_stores();
+        let interner = l.interner().clone();
+        let a = l.intern_iri("l/a");
+        let p = l.intern_iri("l/name");
+        l.insert_literal(a, p, Literal::str(&interner, "James, LeBron"));
+        let b = r.intern_iri("r/b");
+        let q = r.intern_iri("r/label");
+        r.insert_literal(b, q, Literal::str(&interner, "LeBron Raymone James"));
+
+        let pairs = candidate_pairs(&l, &r, 50);
+        assert_eq!(pairs, vec![(a, b)]);
+    }
+
+    #[test]
+    fn oversized_blocks_are_dropped() {
+        let (mut l, mut r) = pair_stores();
+        let interner = l.interner().clone();
+        let p = l.intern_iri("l/type");
+        let q = r.intern_iri("r/type");
+        // 5 left and 5 right entities all share the literal "thing".
+        for i in 0..5 {
+            let s = l.intern_iri(&format!("l/e{i}"));
+            l.insert_literal(s, p, Literal::str(&interner, "thing"));
+            let s = r.intern_iri(&format!("r/e{i}"));
+            r.insert_literal(s, q, Literal::str(&interner, "thing"));
+        }
+        assert_eq!(candidate_pairs(&l, &r, 4).len(), 0);
+        assert_eq!(candidate_pairs(&l, &r, 5).len(), 25);
+    }
+
+    #[test]
+    fn numbers_block_on_exact_value() {
+        let (mut l, mut r) = pair_stores();
+        let a = l.intern_iri("l/a");
+        let p = l.intern_iri("l/year");
+        l.insert_literal(a, p, Literal::Integer(1984));
+        let b = r.intern_iri("r/b");
+        let q = r.intern_iri("r/born");
+        r.insert_literal(b, q, Literal::Integer(1984));
+        let c = r.intern_iri("r/c");
+        r.insert_literal(c, q, Literal::Integer(1985));
+        assert_eq!(candidate_pairs(&l, &r, 50), vec![(a, b)]);
+    }
+
+    #[test]
+    fn iri_local_names_block() {
+        let (mut l, mut r) = pair_stores();
+        let a = l.intern_iri("l/a");
+        let p = l.intern_iri("l/team");
+        let heat_l = l.intern_iri("http://db/resource/Miami_Heat");
+        l.insert_iri(a, p, heat_l);
+        let b = r.intern_iri("r/b");
+        let q = r.intern_iri("r/club");
+        let heat_r = r.intern_iri("http://nyt/orgs/miami_heat");
+        r.insert_iri(b, q, heat_r);
+        assert_eq!(candidate_pairs(&l, &r, 50), vec![(a, b)]);
+    }
+
+    #[test]
+    fn booleans_never_block() {
+        let (mut l, mut r) = pair_stores();
+        let a = l.intern_iri("l/a");
+        let p = l.intern_iri("l/active");
+        l.insert_literal(a, p, Literal::Boolean(true));
+        let b = r.intern_iri("r/b");
+        let q = r.intern_iri("r/active");
+        r.insert_literal(b, q, Literal::Boolean(true));
+        assert!(candidate_pairs(&l, &r, 50).is_empty());
+    }
+}

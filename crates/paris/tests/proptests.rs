@@ -1,0 +1,107 @@
+//! Property-based tests for the PARIS linker.
+
+use std::collections::HashSet;
+
+use alex_paris::{blocking, functionality::FunctionalityTable, ParisConfig, ParisLinker};
+use alex_rdf::{Interner, IriId, Literal, Store};
+use proptest::prelude::*;
+
+/// A random world: `n` entities rendered into both stores with exact
+/// shared names plus per-side extra attributes.
+fn build_stores(names: &[String], extra_left: usize) -> (Store, Store, Vec<(IriId, IriId)>) {
+    let interner = Interner::new_shared();
+    let mut left = Store::new(interner.clone());
+    let mut right = Store::new(interner.clone());
+    let name_l = left.intern_iri("l/name");
+    let name_r = right.intern_iri("r/label");
+    let year_l = left.intern_iri("l/year");
+    let mut gt = Vec::new();
+    for (i, nm) in names.iter().enumerate() {
+        let l = left.intern_iri(&format!("l/e{i}"));
+        let r = right.intern_iri(&format!("r/e{i}"));
+        left.insert_literal(l, name_l, Literal::str(&interner, nm));
+        left.insert_literal(l, year_l, Literal::Integer(1900 + i as i64));
+        right.insert_literal(r, name_r, Literal::str(&interner, nm));
+        gt.push((l, r));
+    }
+    for k in 0..extra_left {
+        let l = left.intern_iri(&format!("l/x{k}"));
+        left.insert_literal(l, name_l, Literal::str(&interner, &format!("unique extra {k}")));
+    }
+    (left, right, gt)
+}
+
+fn arb_names() -> impl Strategy<Value = Vec<String>> {
+    // Distinct multi-token names.
+    proptest::collection::hash_set("[a-z]{4,9} [a-z]{4,9}", 1..12)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Functionality and inverse functionality are always in (0, 1].
+    #[test]
+    fn functionality_bounds(names in arb_names(), extra in 0usize..5) {
+        let (left, _, _) = build_stores(&names, extra);
+        let table = FunctionalityTable::build(&left);
+        for p in left.predicates() {
+            let f = table.fun(p);
+            let inv = table.ifun(p);
+            prop_assert!(f > 0.0 && f <= 1.0, "fun {f}");
+            prop_assert!(inv > 0.0 && inv <= 1.0, "ifun {inv}");
+            prop_assert!(table.triples(p) > 0);
+        }
+    }
+
+    /// Blocking always proposes every exact-shared-name pair.
+    #[test]
+    fn blocking_finds_exact_shares(names in arb_names()) {
+        let (left, right, gt) = build_stores(&names, 0);
+        let pairs: HashSet<(IriId, IriId)> =
+            blocking::candidate_pairs(&left, &right, 50).into_iter().collect();
+        for (l, r) in gt {
+            prop_assert!(pairs.contains(&(l, r)), "missing exact pair");
+        }
+    }
+
+    /// The final assignment is functional in both directions when
+    /// `mutual_best` is on: no entity appears in two links.
+    #[test]
+    fn assignment_is_one_to_one(names in arb_names(), extra in 0usize..5) {
+        let (left, right, _) = build_stores(&names, extra);
+        let out = ParisLinker::new(ParisConfig::default()).run(&left, &right);
+        let mut lefts = HashSet::new();
+        let mut rights = HashSet::new();
+        for s in &out.links {
+            prop_assert!((0.0..=1.0).contains(&s.score), "score {}", s.score);
+            prop_assert!(lefts.insert(s.link.left), "left entity linked twice");
+            prop_assert!(rights.insert(s.link.right), "right entity linked twice");
+        }
+    }
+
+    /// On clean exact-name worlds, PARIS achieves perfect recall of the
+    /// ground truth.
+    #[test]
+    fn perfect_world_perfect_recall(names in arb_names()) {
+        let (left, right, gt) = build_stores(&names, 0);
+        let out = ParisLinker::new(ParisConfig::default()).run(&left, &right);
+        let links: HashSet<_> = out.links.iter().map(|s| (s.link.left, s.link.right)).collect();
+        for (l, r) in gt {
+            prop_assert!(links.contains(&(l, r)), "missing clean link");
+        }
+    }
+
+    /// PARIS is deterministic: two runs produce identical output.
+    #[test]
+    fn deterministic(names in arb_names(), extra in 0usize..4) {
+        let (left, right, _) = build_stores(&names, extra);
+        let a = ParisLinker::new(ParisConfig::default()).run(&left, &right);
+        let b = ParisLinker::new(ParisConfig::default()).run(&left, &right);
+        prop_assert_eq!(a.links.len(), b.links.len());
+        for (x, y) in a.links.iter().zip(&b.links) {
+            prop_assert_eq!(x.link, y.link);
+            prop_assert!((x.score - y.score).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Abstract syntax for the SPARQL subset.
+//!
+//! The subset covers what ALEX's workload needs (paper §3.2): basic graph
+//! patterns over one or more datasets, `FILTER` comparisons, `DISTINCT`,
+//! and `LIMIT`. Named graphs, `OPTIONAL`, property paths, and aggregation
+//! are out of scope — the paper's federated queries are conjunctive.
+
+use std::fmt;
+
+/// A query variable, e.g. `?article`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Variable(pub String);
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A literal as written in the query text (resolved against an interner at
+/// execution time).
+#[derive(Clone, PartialEq, Debug)]
+pub enum LiteralSpec {
+    /// `"value"` (optionally `^^xsd:string`).
+    Str(String),
+    /// `"value"@lang`.
+    LangStr(String, String),
+    /// Integer literal.
+    Integer(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `true` / `false`.
+    Boolean(bool),
+    /// `"YYYY-MM-DD"^^xsd:date`.
+    Date(String),
+}
+
+/// One position of a triple pattern.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PatternTerm {
+    /// A variable to bind.
+    Var(Variable),
+    /// A fixed IRI.
+    Iri(String),
+    /// A fixed literal.
+    Literal(LiteralSpec),
+}
+
+impl PatternTerm {
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<&Variable> {
+        match self {
+            PatternTerm::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A triple pattern `s p o`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub subject: PatternTerm,
+    /// Predicate position.
+    pub predicate: PatternTerm,
+    /// Object position.
+    pub object: PatternTerm,
+}
+
+impl TriplePattern {
+    /// Variables mentioned by this pattern, in position order.
+    pub fn variables(&self) -> impl Iterator<Item = &Variable> {
+        [&self.subject, &self.predicate, &self.object].into_iter().filter_map(PatternTerm::as_var)
+    }
+}
+
+/// Comparison operators usable in `FILTER`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// One side of a filter comparison.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FilterOperand {
+    /// A variable reference.
+    Var(Variable),
+    /// A literal constant.
+    Literal(LiteralSpec),
+}
+
+/// A `FILTER` expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FilterExpr {
+    /// `FILTER(?x op operand)`.
+    Compare {
+        /// Left-hand side.
+        left: FilterOperand,
+        /// Operator.
+        op: CompareOp,
+        /// Right-hand side.
+        right: FilterOperand,
+    },
+    /// `FILTER(CONTAINS(?x, "needle"))` — case-insensitive substring.
+    Contains {
+        /// The string-valued variable.
+        var: Variable,
+        /// The needle.
+        needle: String,
+    },
+    /// `FILTER(STRSTARTS(?x, "prefix"))` — case-insensitive prefix.
+    StrStarts {
+        /// The string-valued variable.
+        var: Variable,
+        /// The prefix.
+        prefix: String,
+    },
+    /// Conjunction (`&&`).
+    And(Box<FilterExpr>, Box<FilterExpr>),
+    /// Disjunction (`||`).
+    Or(Box<FilterExpr>, Box<FilterExpr>),
+    /// Negation (`!`).
+    Not(Box<FilterExpr>),
+}
+
+impl FilterExpr {
+    /// Variables referenced by this filter.
+    pub fn variables(&self) -> Vec<&Variable> {
+        match self {
+            FilterExpr::Compare { left, right, .. } => {
+                let mut out = Vec::new();
+                if let FilterOperand::Var(v) = left {
+                    out.push(v);
+                }
+                if let FilterOperand::Var(v) = right {
+                    out.push(v);
+                }
+                out
+            }
+            FilterExpr::Contains { var, .. } | FilterExpr::StrStarts { var, .. } => vec![var],
+            FilterExpr::And(a, b) | FilterExpr::Or(a, b) => {
+                let mut out = a.variables();
+                out.extend(b.variables());
+                out
+            }
+            FilterExpr::Not(a) => a.variables(),
+        }
+    }
+}
+
+/// A nested group of patterns and filters, used by `OPTIONAL` and `UNION`.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Group {
+    /// Triple patterns of the group.
+    pub patterns: Vec<TriplePattern>,
+    /// Filters scoped to the group.
+    pub filters: Vec<FilterExpr>,
+}
+
+impl Group {
+    /// Variables mentioned by the group.
+    pub fn variables(&self) -> Vec<&Variable> {
+        let mut out: Vec<&Variable> = self.patterns.iter().flat_map(|p| p.variables()).collect();
+        for f in &self.filters {
+            out.extend(f.variables());
+        }
+        out
+    }
+}
+
+/// One `ORDER BY` key.
+#[derive(Clone, PartialEq, Debug)]
+pub struct OrderKey {
+    /// The variable to sort by.
+    pub var: Variable,
+    /// Whether the key sorts descending (`DESC(?v)`).
+    pub descending: bool,
+}
+
+/// A parsed `SELECT` query.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Query {
+    /// Projection; empty means `SELECT *`.
+    pub select: Vec<Variable>,
+    /// Whether `DISTINCT` was requested.
+    pub distinct: bool,
+    /// Basic graph pattern.
+    pub patterns: Vec<TriplePattern>,
+    /// Filters, all of which must hold.
+    pub filters: Vec<FilterExpr>,
+    /// `OPTIONAL { … }` groups (left-joined after the required patterns).
+    pub optionals: Vec<Group>,
+    /// `{ … } UNION { … }` blocks (each row extends through either branch).
+    pub unions: Vec<(Group, Group)>,
+    /// Sort keys, applied before `OFFSET`/`LIMIT`.
+    pub order_by: Vec<OrderKey>,
+    /// Rows to skip after sorting.
+    pub offset: Option<usize>,
+    /// Row cap.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// All distinct variables of the query, in first-mention order.
+    pub fn all_variables(&self) -> Vec<Variable> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut push = |v: &Variable| {
+            if seen.insert(v.clone()) {
+                out.push(v.clone());
+            }
+        };
+        for p in &self.patterns {
+            for v in p.variables() {
+                push(v);
+            }
+        }
+        for (a, b) in &self.unions {
+            for v in a.variables().into_iter().chain(b.variables()) {
+                push(v);
+            }
+        }
+        for g in &self.optionals {
+            for v in g.variables() {
+                push(v);
+            }
+        }
+        for f in &self.filters {
+            for v in f.variables() {
+                push(v);
+            }
+        }
+        out
+    }
+
+    /// The effective projection: `select` if non-empty, else all variables.
+    pub fn projection(&self) -> Vec<Variable> {
+        if self.select.is_empty() {
+            self.all_variables()
+        } else {
+            self.select.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(s: &str) -> Variable {
+        Variable(s.to_owned())
+    }
+
+    #[test]
+    fn pattern_variables() {
+        let p = TriplePattern {
+            subject: PatternTerm::Var(var("s")),
+            predicate: PatternTerm::Iri("http://p".into()),
+            object: PatternTerm::Var(var("o")),
+        };
+        let vars: Vec<&Variable> = p.variables().collect();
+        assert_eq!(vars.len(), 2);
+        assert_eq!(vars[0].0, "s");
+        assert_eq!(vars[1].0, "o");
+    }
+
+    #[test]
+    fn query_all_variables_dedup_in_order() {
+        let q = Query {
+            select: vec![],
+            distinct: false,
+            patterns: vec![
+                TriplePattern {
+                    subject: PatternTerm::Var(var("a")),
+                    predicate: PatternTerm::Iri("p".into()),
+                    object: PatternTerm::Var(var("b")),
+                },
+                TriplePattern {
+                    subject: PatternTerm::Var(var("b")),
+                    predicate: PatternTerm::Iri("q".into()),
+                    object: PatternTerm::Var(var("c")),
+                },
+            ],
+            filters: vec![FilterExpr::Contains { var: var("c"), needle: "x".into() }],
+            optionals: vec![],
+            unions: vec![],
+            order_by: vec![],
+            offset: None,
+            limit: None,
+        };
+        let vars = q.all_variables();
+        assert_eq!(vars, vec![var("a"), var("b"), var("c")]);
+        assert_eq!(q.projection(), vars);
+    }
+
+    #[test]
+    fn filter_variables() {
+        let f = FilterExpr::And(
+            Box::new(FilterExpr::Compare {
+                left: FilterOperand::Var(var("x")),
+                op: CompareOp::Gt,
+                right: FilterOperand::Literal(LiteralSpec::Integer(3)),
+            }),
+            Box::new(FilterExpr::Not(Box::new(FilterExpr::StrStarts {
+                var: var("y"),
+                prefix: "a".into(),
+            }))),
+        );
+        let vars = f.variables();
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn variable_display() {
+        assert_eq!(var("name").to_string(), "?name");
+    }
+}

@@ -1,0 +1,200 @@
+//! A minimal proleptic-Gregorian calendar date.
+//!
+//! `xsd:date` literals are frequent in knowledge bases (birth dates,
+//! publication dates) and the paper's generic similarity function treats
+//! dates as their own type, so we carry them parsed rather than as strings.
+
+use crate::error::RdfError;
+
+/// A calendar date in the proleptic Gregorian calendar.
+///
+/// Supports years in `-9999..=9999`, which covers every date found in the
+/// paper's datasets. Ordering is chronological.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+const DAYS_IN_MONTH: [u8; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[(month - 1) as usize]
+    }
+}
+
+impl Date {
+    /// Creates a date, validating that it exists on the calendar.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, RdfError> {
+        let valid = (-9999..=9999).contains(&year)
+            && (1..=12).contains(&month)
+            && day >= 1
+            && day <= days_in_month(year, month);
+        if valid {
+            Ok(Self { year, month, day })
+        } else {
+            Err(RdfError::InvalidDate { year, month, day })
+        }
+    }
+
+    /// Year component (may be negative for BCE dates).
+    #[inline]
+    pub fn year(self) -> i32 {
+        self.year
+    }
+
+    /// Month component in `1..=12`.
+    #[inline]
+    pub fn month(self) -> u8 {
+        self.month
+    }
+
+    /// Day-of-month component in `1..=31`.
+    #[inline]
+    pub fn day(self) -> u8 {
+        self.day
+    }
+
+    /// Days since 0000-03-01 (an arbitrary fixed origin), suitable for
+    /// computing distances between dates.
+    ///
+    /// Uses the standard civil-from-days construction (Howard Hinnant's
+    /// algorithm), exact over the whole supported range.
+    pub fn day_number(self) -> i64 {
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let m = i64::from(self.month);
+        let d = i64::from(self.day);
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146097 + doe
+    }
+
+    /// Absolute distance between two dates, in days.
+    pub fn days_between(self, other: Date) -> i64 {
+        (self.day_number() - other.day_number()).abs()
+    }
+
+    /// Parses an `xsd:date` lexical form: `[-]YYYY-MM-DD`, ignoring any
+    /// trailing timezone designator (`Z` or `±HH:MM`), which `xsd:date`
+    /// permits but ALEX's similarity functions do not need.
+    pub fn parse(lexical: &str) -> Result<Self, RdfError> {
+        let invalid = || RdfError::InvalidLexical {
+            datatype: crate::vocab::XSD_DATE.to_owned(),
+            lexical: lexical.to_owned(),
+        };
+        let (neg, rest) = match lexical.strip_prefix('-') {
+            Some(r) => (true, r),
+            None => (false, lexical),
+        };
+        // Strip an optional timezone suffix.
+        let rest = rest
+            .strip_suffix('Z')
+            .or_else(|| rest.get(..rest.len().saturating_sub(6)).filter(|_| {
+                let tail = &rest[rest.len().saturating_sub(6)..];
+                tail.len() == 6
+                    && (tail.starts_with('+') || tail.starts_with('-'))
+                    && tail.as_bytes()[3] == b':'
+            }))
+            .unwrap_or(rest);
+        let mut parts = rest.splitn(3, '-');
+        let (y, m, d) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(y), Some(m), Some(d)) if y.len() >= 4 && m.len() == 2 && d.len() == 2 => (y, m, d),
+            _ => return Err(invalid()),
+        };
+        let year: i32 = y.parse().map_err(|_| invalid())?;
+        let month: u8 = m.parse().map_err(|_| invalid())?;
+        let day: u8 = d.parse().map_err(|_| invalid())?;
+        Date::new(if neg { -year } else { year }, month, day).map_err(|_| invalid())
+    }
+}
+
+impl std::fmt::Display for Date {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.year < 0 {
+            write!(f, "-{:04}-{:02}-{:02}", -self.year, self.month, self.day)
+        } else {
+            write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_impossible_dates() {
+        assert!(Date::new(2020, 2, 29).is_ok());
+        assert!(Date::new(2021, 2, 29).is_err());
+        assert!(Date::new(1900, 2, 29).is_err()); // 100-year non-leap
+        assert!(Date::new(2000, 2, 29).is_ok()); // 400-year leap
+        assert!(Date::new(2020, 0, 1).is_err());
+        assert!(Date::new(2020, 13, 1).is_err());
+        assert!(Date::new(2020, 4, 31).is_err());
+        assert!(Date::new(10_000, 1, 1).is_err());
+    }
+
+    #[test]
+    fn day_numbers_are_consecutive_across_boundaries() {
+        let pairs = [
+            (Date::new(2019, 12, 31).unwrap(), Date::new(2020, 1, 1).unwrap()),
+            (Date::new(2020, 2, 28).unwrap(), Date::new(2020, 2, 29).unwrap()),
+            (Date::new(2020, 2, 29).unwrap(), Date::new(2020, 3, 1).unwrap()),
+            (Date::new(1999, 12, 31).unwrap(), Date::new(2000, 1, 1).unwrap()),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(b.day_number() - a.day_number(), 1, "{a} -> {b}");
+        }
+    }
+
+    #[test]
+    fn known_epoch_offsets() {
+        // 1970-01-01 relative to 1969-01-01 is 365 days (1969 not a leap year).
+        let a = Date::new(1969, 1, 1).unwrap();
+        let b = Date::new(1970, 1, 1).unwrap();
+        assert_eq!(a.days_between(b), 365);
+        // A leap year spans 366 days.
+        let a = Date::new(2020, 1, 1).unwrap();
+        let b = Date::new(2021, 1, 1).unwrap();
+        assert_eq!(a.days_between(b), 366);
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for s in ["1984-12-30", "0001-01-01", "-0044-03-15", "2013-06-20"] {
+            let d = Date::parse(s).unwrap();
+            assert_eq!(d.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_timezones() {
+        assert_eq!(Date::parse("2013-06-20Z").unwrap(), Date::new(2013, 6, 20).unwrap());
+        assert_eq!(Date::parse("2013-06-20+05:00").unwrap(), Date::new(2013, 6, 20).unwrap());
+        assert_eq!(Date::parse("2013-06-20-05:00").unwrap(), Date::new(2013, 6, 20).unwrap());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for s in ["", "2013", "2013-6-20", "13-06-20", "2013-06", "20a3-06-20", "2013-02-30"] {
+            assert!(Date::parse(s).is_err(), "{s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let a = Date::new(1984, 12, 30).unwrap();
+        let b = Date::new(1985, 1, 2).unwrap();
+        assert!(a < b);
+    }
+}

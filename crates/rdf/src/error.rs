@@ -1,0 +1,75 @@
+//! Error type shared by the RDF substrate.
+
+use std::fmt;
+
+/// Errors produced while parsing, validating, or storing RDF data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// An N-Triples line could not be parsed. Carries the 1-based line
+    /// number and a description of what went wrong.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the syntax problem.
+        message: String,
+    },
+    /// A date literal was lexically well-formed but not a real calendar date.
+    InvalidDate {
+        /// Year component as written.
+        year: i32,
+        /// Month component as written.
+        month: u8,
+        /// Day component as written.
+        day: u8,
+    },
+    /// A literal's lexical form did not match its declared XSD datatype.
+    InvalidLexical {
+        /// The declared datatype IRI.
+        datatype: String,
+        /// The lexical form that failed to parse.
+        lexical: String,
+    },
+    /// An operation referenced an id that the interner never issued.
+    UnknownId(u32),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Parse { line, message } => {
+                write!(f, "N-Triples parse error at line {line}: {message}")
+            }
+            RdfError::InvalidDate { year, month, day } => {
+                write!(f, "invalid calendar date {year:04}-{month:02}-{day:02}")
+            }
+            RdfError::InvalidLexical { datatype, lexical } => {
+                write!(f, "lexical form {lexical:?} is not valid for datatype <{datatype}>")
+            }
+            RdfError::UnknownId(id) => write!(f, "unknown interned id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RdfError::Parse { line: 7, message: "expected '.'".into() };
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("expected '.'"));
+
+        let e = RdfError::InvalidDate { year: 2020, month: 2, day: 30 };
+        assert_eq!(e.to_string(), "invalid calendar date 2020-02-30");
+
+        let e = RdfError::InvalidLexical {
+            datatype: "http://www.w3.org/2001/XMLSchema#integer".into(),
+            lexical: "abc".into(),
+        };
+        assert!(e.to_string().contains("abc"));
+        assert!(RdfError::UnknownId(3).to_string().contains('3'));
+    }
+}

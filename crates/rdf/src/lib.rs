@@ -1,0 +1,49 @@
+//! # alex-rdf — RDF substrate for ALEX
+//!
+//! An in-memory RDF toolkit purpose-built for the ALEX reproduction:
+//!
+//! * [`Interner`] — a concurrent string interner mapping IRIs and string
+//!   literal values to compact `u32` ids shared across datasets, so that
+//!   predicates from *different* knowledge bases can be compared by id.
+//! * [`Term`], [`Literal`], [`Triple`] — a typed RDF value model. Literals
+//!   carry their parsed value (integer, float, date, boolean, string,
+//!   language-tagged string) so similarity functions can dispatch on type,
+//!   as Section 4.1 of the paper requires.
+//! * [`Store`] — an indexed triple store with subject / predicate / object
+//!   and (subject, predicate) access paths, plus an [`Entity`] view (subject
+//!   together with its attribute list) which is the unit ALEX's feature sets
+//!   are built from.
+//! * [`ntriples`] — a streaming N-Triples 1.1 parser and serializer, and
+//!   [`turtle`] — a Turtle 1.1 subset parser (prefixes, predicate/object
+//!   lists, blank-node property lists, numeric/boolean shorthands).
+//! * [`vocab`] — well-known vocabulary IRIs (`rdf:type`, `rdfs:label`,
+//!   `owl:sameAs`, XSD datatypes).
+//!
+//! The model intentionally omits named graphs and blank-node scoping rules:
+//! ALEX operates on pairs of flat entity-attribute datasets. Blank nodes are
+//! accepted by the parser and interned under their `_:label` spelling.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod date;
+mod entity;
+mod error;
+mod interner;
+mod link;
+pub mod ntriples;
+mod store;
+mod term;
+pub mod turtle;
+pub mod vocab;
+
+pub use date::Date;
+pub use entity::{Attribute, Entity};
+pub use error::RdfError;
+pub use interner::{Interner, StrId};
+pub use link::{Link, ScoredLink};
+pub use store::{Store, StoreStats, TripleIter};
+pub use term::{FloatBits, IriId, Literal, LiteralKind, Term, Triple};
+
+/// Convenient result alias for fallible RDF operations.
+pub type Result<T> = std::result::Result<T, RdfError>;

@@ -1,0 +1,89 @@
+//! Cross-dataset entity links (`owl:sameAs` statements).
+//!
+//! A [`Link`] asserts that an entity of the *left* dataset and an entity of
+//! the *right* dataset denote the same real-world individual. Links are the
+//! currency of the whole workspace: PARIS produces them, ALEX curates them,
+//! the federated query engine traverses them.
+
+use crate::store::Store;
+use crate::term::{IriId, Term, Triple};
+use crate::vocab;
+
+/// An `owl:sameAs` link between an entity of the left dataset and an entity
+/// of the right dataset.
+///
+/// `Link` is ordered: `(a, b)` links dataset-1's `a` to dataset-2's `b` and
+/// is *not* the same link as `(b, a)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Link {
+    /// Entity in the left (first) dataset.
+    pub left: IriId,
+    /// Entity in the right (second) dataset.
+    pub right: IriId,
+}
+
+impl Link {
+    /// Creates a link.
+    pub fn new(left: IriId, right: IriId) -> Self {
+        Self { left, right }
+    }
+
+    /// Renders the link as an `owl:sameAs` triple (interning the predicate
+    /// into the store's interner on first use).
+    pub fn to_triple(self, store: &Store) -> Triple {
+        let same_as = store.intern_iri(vocab::OWL_SAME_AS);
+        Triple::new(self.left, same_as, Term::Iri(self.right))
+    }
+}
+
+/// A link with the confidence score its producer assigned.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ScoredLink {
+    /// The entity pair.
+    pub link: Link,
+    /// Producer confidence in `[0, 1]`.
+    pub score: f64,
+}
+
+impl ScoredLink {
+    /// Creates a scored link.
+    pub fn new(link: Link, score: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&score), "score out of range: {score}");
+        Self { link, score }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Interner;
+
+    #[test]
+    fn link_identity_and_ordering() {
+        let i = Interner::new();
+        let a = IriId(i.intern("a"));
+        let b = IriId(i.intern("b"));
+        assert_eq!(Link::new(a, b), Link::new(a, b));
+        assert_ne!(Link::new(a, b), Link::new(b, a));
+    }
+
+    #[test]
+    fn to_triple_uses_owl_same_as() {
+        let store = Store::new(Interner::new_shared());
+        let a = store.intern_iri("http://ex/a");
+        let b = store.intern_iri("http://ex/b");
+        let t = Link::new(a, b).to_triple(&store);
+        assert_eq!(&*store.iri_str(t.predicate), vocab::OWL_SAME_AS);
+        assert_eq!(t.subject, a);
+        assert_eq!(t.object.as_iri(), Some(b));
+    }
+
+    #[test]
+    fn scored_link_holds_score() {
+        let i = Interner::new();
+        let l = Link::new(IriId(i.intern("a")), IriId(i.intern("b")));
+        let s = ScoredLink::new(l, 0.97);
+        assert_eq!(s.link, l);
+        assert!((s.score - 0.97).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,495 @@
+//! N-Triples 1.1 parsing and serialization.
+//!
+//! The parser is line-oriented and streaming: it never buffers more than one
+//! line, so arbitrarily large dumps load in constant memory (beyond the
+//! store itself). Typed literals whose datatype is a recognized XSD type are
+//! parsed into their value-space representation ([`crate::Literal`]); all
+//! other datatypes fall back to plain strings of their lexical form, which
+//! is what ALEX's string similarity would compare anyway.
+
+use std::io::{BufRead, Write};
+
+use crate::error::RdfError;
+use crate::store::Store;
+use crate::term::{format_float, IriId, Literal, Term, Triple};
+use crate::vocab;
+use crate::Date;
+
+/// Parses one N-Triples document from `reader`, inserting every triple into
+/// `store`. Returns the number of *new* triples inserted.
+///
+/// Comment lines (`#`) and blank lines are skipped. Errors carry the 1-based
+/// line number.
+pub fn read_into<R: BufRead>(reader: R, store: &mut Store) -> crate::Result<usize> {
+    let mut inserted = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| RdfError::Parse { line: lineno + 1, message: e.to_string() })?;
+        if let Some(triple) = parse_line(&line, lineno + 1, store)? {
+            if store.insert(triple) {
+                inserted += 1;
+            }
+        }
+    }
+    Ok(inserted)
+}
+
+/// Parses a complete N-Triples document held in a string.
+pub fn read_str(input: &str, store: &mut Store) -> crate::Result<usize> {
+    read_into(input.as_bytes(), store)
+}
+
+/// Parses a single N-Triples line. Returns `None` for blank/comment lines.
+pub fn parse_line(line: &str, lineno: usize, store: &Store) -> crate::Result<Option<Triple>> {
+    let mut p = LineParser { line, pos: 0, lineno, store };
+    p.skip_ws();
+    if p.at_end() || p.peek() == Some('#') {
+        return Ok(None);
+    }
+    let subject = p.parse_subject()?;
+    p.require_ws()?;
+    let predicate = p.parse_iri()?;
+    p.require_ws()?;
+    let object = p.parse_object()?;
+    p.skip_ws();
+    p.expect('.')?;
+    p.skip_ws();
+    if !p.at_end() && p.peek() != Some('#') {
+        return Err(p.err("trailing content after '.'"));
+    }
+    Ok(Some(Triple { subject, predicate, object }))
+}
+
+struct LineParser<'a> {
+    line: &'a str,
+    pos: usize,
+    lineno: usize,
+    store: &'a Store,
+}
+
+impl<'a> LineParser<'a> {
+    fn err(&self, message: impl Into<String>) -> RdfError {
+        RdfError::Parse { line: self.lineno, message: message.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.line[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.line.len()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ') | Some('\t')) {
+            self.bump();
+        }
+    }
+
+    fn require_ws(&mut self) -> crate::Result<()> {
+        if !matches!(self.peek(), Some(' ') | Some('\t')) {
+            return Err(self.err("expected whitespace"));
+        }
+        self.skip_ws();
+        Ok(())
+    }
+
+    fn expect(&mut self, c: char) -> crate::Result<()> {
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{c}'")))
+        }
+    }
+
+    fn parse_subject(&mut self) -> crate::Result<IriId> {
+        match self.peek() {
+            Some('<') => self.parse_iri(),
+            Some('_') => self.parse_blank(),
+            _ => Err(self.err("expected IRI or blank node as subject")),
+        }
+    }
+
+    fn parse_iri(&mut self) -> crate::Result<IriId> {
+        self.expect('<')?;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some('>') => break,
+                Some(c) if c == ' ' || c == '<' => return Err(self.err("invalid character in IRI")),
+                Some(_) => {
+                    self.bump();
+                }
+                None => return Err(self.err("unterminated IRI")),
+            }
+        }
+        let iri = &self.line[start..self.pos];
+        self.expect('>')?;
+        Ok(self.store.intern_iri(iri))
+    }
+
+    fn parse_blank(&mut self) -> crate::Result<IriId> {
+        let start = self.pos;
+        self.expect('_')?;
+        self.expect(':')?;
+        if !matches!(self.peek(), Some(c) if c.is_alphanumeric()) {
+            return Err(self.err("blank node label must start alphanumeric"));
+        }
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '.') {
+            self.bump();
+        }
+        // Roll back a trailing '.' — it terminates the statement.
+        if self.line[start..self.pos].ends_with('.') {
+            self.pos -= 1;
+        }
+        Ok(self.store.intern_iri(&self.line[start..self.pos]))
+    }
+
+    fn parse_object(&mut self) -> crate::Result<Term> {
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(self.parse_iri()?)),
+            Some('_') => Ok(Term::Iri(self.parse_blank()?)),
+            Some('"') => self.parse_literal().map(Term::Literal),
+            _ => Err(self.err("expected IRI, blank node, or literal as object")),
+        }
+    }
+
+    fn parse_literal(&mut self) -> crate::Result<Literal> {
+        self.expect('"')?;
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => value.push(self.parse_escape()?),
+                Some(c) => value.push(c),
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+        match self.peek() {
+            Some('@') => {
+                self.bump();
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-') {
+                    self.bump();
+                }
+                if self.pos == start {
+                    return Err(self.err("empty language tag"));
+                }
+                let lang = self.line[start..self.pos].to_ascii_lowercase();
+                Ok(Literal::LangStr {
+                    value: self.store.interner().intern(&value),
+                    lang: self.store.interner().intern(&lang),
+                })
+            }
+            Some('^') => {
+                self.bump();
+                self.expect('^')?;
+                let dt = self.parse_iri()?;
+                let dt_str = self.store.iri_str(dt);
+                typed_literal(&value, &dt_str, self.store).map_err(|_| RdfError::InvalidLexical {
+                    datatype: dt_str.to_string(),
+                    lexical: value.clone(),
+                })
+            }
+            _ => Ok(Literal::Str(self.store.interner().intern(&value))),
+        }
+    }
+
+    fn parse_escape(&mut self) -> crate::Result<char> {
+        match self.bump() {
+            Some('t') => Ok('\t'),
+            Some('n') => Ok('\n'),
+            Some('r') => Ok('\r'),
+            Some('b') => Ok('\u{8}'),
+            Some('f') => Ok('\u{c}'),
+            Some('"') => Ok('"'),
+            Some('\'') => Ok('\''),
+            Some('\\') => Ok('\\'),
+            Some('u') => self.parse_unicode_escape(4),
+            Some('U') => self.parse_unicode_escape(8),
+            _ => Err(self.err("invalid escape sequence")),
+        }
+    }
+
+    fn parse_unicode_escape(&mut self, digits: usize) -> crate::Result<char> {
+        let mut code: u32 = 0;
+        for _ in 0..digits {
+            let c = self.bump().ok_or_else(|| self.err("truncated unicode escape"))?;
+            let d = c.to_digit(16).ok_or_else(|| self.err("non-hex digit in unicode escape"))?;
+            code = code * 16 + d;
+        }
+        char::from_u32(code).ok_or_else(|| self.err("unicode escape is not a scalar value"))
+    }
+}
+
+/// Builds a typed [`Literal`] from a lexical form and datatype IRI.
+///
+/// Recognized XSD types are parsed into their value space; unknown datatypes
+/// degrade to plain strings of the lexical form.
+pub fn typed_literal(lexical: &str, datatype: &str, store: &Store) -> crate::Result<Literal> {
+    let invalid = || RdfError::InvalidLexical { datatype: datatype.to_owned(), lexical: lexical.to_owned() };
+    match datatype {
+        vocab::XSD_INTEGER | vocab::XSD_INT | vocab::XSD_LONG => {
+            lexical.trim().parse::<i64>().map(Literal::Integer).map_err(|_| invalid())
+        }
+        vocab::XSD_DOUBLE | vocab::XSD_FLOAT | vocab::XSD_DECIMAL => {
+            lexical.trim().parse::<f64>().map(Literal::float).map_err(|_| invalid())
+        }
+        vocab::XSD_BOOLEAN => match lexical.trim() {
+            "true" | "1" => Ok(Literal::Boolean(true)),
+            "false" | "0" => Ok(Literal::Boolean(false)),
+            _ => Err(invalid()),
+        },
+        vocab::XSD_DATE => Date::parse(lexical.trim()).map(Literal::Date).map_err(|_| invalid()),
+        _ => Ok(Literal::Str(store.interner().intern(lexical))),
+    }
+}
+
+/// Escapes a string value for inclusion in an N-Triples literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders one term in N-Triples syntax.
+pub fn term_to_string(term: &Term, store: &Store) -> String {
+    match term {
+        Term::Iri(id) => iri_to_string(*id, store),
+        Term::Literal(lit) => literal_to_string(lit, store),
+    }
+}
+
+fn iri_to_string(id: IriId, store: &Store) -> String {
+    let s = store.iri_str(id);
+    if s.starts_with("_:") {
+        s.to_string()
+    } else {
+        format!("<{s}>")
+    }
+}
+
+/// Renders one literal in N-Triples syntax, including datatype/lang suffix.
+pub fn literal_to_string(lit: &Literal, store: &Store) -> String {
+    let mut out = String::new();
+    match lit {
+        Literal::Str(id) => {
+            out.push('"');
+            escape_into(&mut out, &store.interner().resolve(*id));
+            out.push('"');
+        }
+        Literal::LangStr { value, lang } => {
+            out.push('"');
+            escape_into(&mut out, &store.interner().resolve(*value));
+            out.push('"');
+            out.push('@');
+            out.push_str(&store.interner().resolve(*lang));
+        }
+        Literal::Integer(i) => {
+            out.push('"');
+            out.push_str(&i.to_string());
+            out.push('"');
+            out.push_str(&format!("^^<{}>", vocab::XSD_INTEGER));
+        }
+        Literal::Float(fb) => {
+            out.push('"');
+            out.push_str(&format_float(fb.get()));
+            out.push('"');
+            out.push_str(&format!("^^<{}>", vocab::XSD_DOUBLE));
+        }
+        Literal::Boolean(b) => {
+            out.push('"');
+            out.push_str(if *b { "true" } else { "false" });
+            out.push('"');
+            out.push_str(&format!("^^<{}>", vocab::XSD_BOOLEAN));
+        }
+        Literal::Date(d) => {
+            out.push('"');
+            out.push_str(&d.to_string());
+            out.push('"');
+            out.push_str(&format!("^^<{}>", vocab::XSD_DATE));
+        }
+    }
+    out
+}
+
+/// Serializes every triple of `store` as N-Triples to `writer`.
+pub fn write_store<W: Write>(store: &Store, writer: &mut W) -> std::io::Result<()> {
+    for t in store.iter() {
+        writeln!(
+            writer,
+            "{} {} {} .",
+            iri_to_string(t.subject, store),
+            iri_to_string(t.predicate, store),
+            term_to_string(&t.object, store),
+        )?;
+    }
+    Ok(())
+}
+
+/// Serializes `store` to an N-Triples string.
+pub fn write_string(store: &Store) -> String {
+    let mut buf = Vec::new();
+    write_store(store, &mut buf).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("N-Triples output is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Interner;
+    use crate::term::LiteralKind;
+
+    fn fresh() -> Store {
+        Store::new(Interner::new_shared())
+    }
+
+    #[test]
+    fn parses_simple_triples() {
+        let mut store = fresh();
+        let n = read_str(
+            "<http://a> <http://p> <http://b> .\n\
+             # a comment\n\
+             \n\
+             <http://a> <http://q> \"hello\" .\n",
+            &mut store,
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn parses_typed_literals() {
+        let mut store = fresh();
+        read_str(
+            "<http://a> <http://i> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n\
+             <http://a> <http://f> \"2.5\"^^<http://www.w3.org/2001/XMLSchema#double> .\n\
+             <http://a> <http://b> \"true\"^^<http://www.w3.org/2001/XMLSchema#boolean> .\n\
+             <http://a> <http://d> \"1984-12-30\"^^<http://www.w3.org/2001/XMLSchema#date> .\n\
+             <http://a> <http://u> \"x\"^^<http://unknown/type> .\n",
+            &mut store,
+        )
+        .unwrap();
+        let a = store.intern_iri("http://a");
+        let kinds: Vec<LiteralKind> = store
+            .match_pattern(Some(a), None, None)
+            .filter_map(|t| t.object.as_literal().map(Literal::kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                LiteralKind::Integer,
+                LiteralKind::Float,
+                LiteralKind::Boolean,
+                LiteralKind::Date,
+                LiteralKind::Str
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_lang_strings_lowercasing_tag() {
+        let mut store = fresh();
+        read_str("<http://a> <http://p> \"Bonjour\"@FR .\n", &mut store).unwrap();
+        let t = store.iter().next().unwrap();
+        match t.object.as_literal().unwrap() {
+            Literal::LangStr { value, lang } => {
+                assert_eq!(&*store.interner().resolve(*value), "Bonjour");
+                assert_eq!(&*store.interner().resolve(*lang), "fr");
+            }
+            other => panic!("expected lang string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_escapes() {
+        let mut store = fresh();
+        read_str(r#"<http://a> <http://p> "tab\there \"quoted\" é" ."#, &mut store).unwrap();
+        let t = store.iter().next().unwrap();
+        let id = t.object.as_literal().unwrap().as_str_id().unwrap();
+        assert_eq!(&*store.interner().resolve(id), "tab\there \"quoted\" é");
+    }
+
+    #[test]
+    fn parses_blank_nodes() {
+        let mut store = fresh();
+        read_str("_:b1 <http://p> _:b2 .\n", &mut store).unwrap();
+        let t = store.iter().next().unwrap();
+        assert_eq!(&*store.iri_str(t.subject), "_:b1");
+        assert_eq!(&*store.iri_str(t.object.as_iri().unwrap()), "_:b2");
+    }
+
+    #[test]
+    fn blank_node_before_terminating_dot() {
+        let mut store = fresh();
+        // No space between the blank node and the dot.
+        read_str("<http://a> <http://p> _:b1.\n", &mut store).unwrap();
+        let t = store.iter().next().unwrap();
+        assert_eq!(&*store.iri_str(t.object.as_iri().unwrap()), "_:b1");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "<http://a> <http://p> .",
+            "<http://a> <http://p> \"unterminated .",
+            "<http://a <http://p> <http://b> .",
+            "<http://a> <http://p> <http://b>",
+            "<http://a> <http://p> <http://b> . garbage",
+            "\"literal\" <http://p> <http://b> .",
+            "<http://a> <http://p> \"x\"@ .",
+            "<http://a> <http://p> \"9x\"^^<http://www.w3.org/2001/XMLSchema#integer> .",
+        ] {
+            let mut store = fresh();
+            assert!(read_str(bad, &mut store).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let mut store = fresh();
+        let err = read_str("<http://a> <http://p> <http://b> .\nnot a triple\n", &mut store).unwrap_err();
+        match err {
+            RdfError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_triples() {
+        let src = "<http://a> <http://p> <http://b> .\n\
+                   <http://a> <http://name> \"Ali\\\\ce \\\"quoted\\\"\" .\n\
+                   <http://a> <http://age> \"30\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n\
+                   <http://a> <http://pi> \"3.5\"^^<http://www.w3.org/2001/XMLSchema#double> .\n\
+                   <http://a> <http://born> \"1984-12-30\"^^<http://www.w3.org/2001/XMLSchema#date> .\n\
+                   <http://a> <http://ok> \"true\"^^<http://www.w3.org/2001/XMLSchema#boolean> .\n\
+                   <http://a> <http://greet> \"hi\"@en .\n";
+        let mut s1 = fresh();
+        read_str(src, &mut s1).unwrap();
+        let out = write_string(&s1);
+        let mut s2 = Store::new(s1.interner().clone());
+        read_str(&out, &mut s2).unwrap();
+        assert_eq!(s1.len(), s2.len());
+        for t in s1.iter() {
+            assert!(s2.contains(t), "missing after round trip: {t:?}");
+        }
+    }
+}

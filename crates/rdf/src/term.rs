@@ -1,0 +1,291 @@
+//! The RDF value model: IRIs, typed literals, terms, triples.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::date::Date;
+use crate::interner::{Interner, StrId};
+
+/// Identifier of an interned IRI (or blank-node label).
+///
+/// A thin wrapper over [`StrId`] that documents intent: subjects and
+/// predicates are always IRIs in this workspace.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IriId(pub StrId);
+
+impl IriId {
+    /// The raw dense index of the underlying interned string.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0.index()
+    }
+}
+
+impl fmt::Debug for IriId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IriId({})", self.0 .0)
+    }
+}
+
+/// An `f64` stored by its bit pattern so literals can be `Eq + Hash`.
+///
+/// NaNs are canonicalized on construction, and `-0.0` is normalized to
+/// `0.0`, so bitwise equality coincides with semantic equality for every
+/// value a literal can hold.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloatBits(u64);
+
+impl FloatBits {
+    /// Wraps a float, canonicalizing NaN and negative zero.
+    pub fn new(value: f64) -> Self {
+        if value.is_nan() {
+            Self(f64::NAN.to_bits())
+        } else if value == 0.0 {
+            Self(0.0_f64.to_bits())
+        } else {
+            Self(value.to_bits())
+        }
+    }
+
+    /// The wrapped float value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
+impl PartialOrd for FloatBits {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FloatBits {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.get().total_cmp(&other.get())
+    }
+}
+
+impl fmt::Debug for FloatBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FloatBits({})", self.get())
+    }
+}
+
+impl From<f64> for FloatBits {
+    fn from(v: f64) -> Self {
+        Self::new(v)
+    }
+}
+
+/// A typed RDF literal.
+///
+/// Carrying parsed values (not lexical forms) lets the similarity layer
+/// dispatch on type — the "generic similarity function that depends on the
+/// type of the attributes" of Section 4.1 — without re-parsing on every
+/// comparison.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Literal {
+    /// A plain string (`xsd:string` or untyped).
+    Str(StrId),
+    /// A language-tagged string (`"foo"@en`).
+    LangStr {
+        /// Interned string value.
+        value: StrId,
+        /// Interned lowercase language tag.
+        lang: StrId,
+    },
+    /// An `xsd:integer` (and friends: `xsd:int`, `xsd:long`, …).
+    Integer(i64),
+    /// An `xsd:double` / `xsd:float` / `xsd:decimal`.
+    Float(FloatBits),
+    /// An `xsd:boolean`.
+    Boolean(bool),
+    /// An `xsd:date`.
+    Date(Date),
+}
+
+impl Literal {
+    /// Convenience constructor interning a plain string value.
+    pub fn str(interner: &Interner, value: &str) -> Self {
+        Literal::Str(interner.intern(value))
+    }
+
+    /// Convenience constructor for a float literal.
+    pub fn float(value: f64) -> Self {
+        Literal::Float(FloatBits::new(value))
+    }
+
+    /// The string value, if this is a plain or language-tagged string.
+    pub fn as_str_id(&self) -> Option<StrId> {
+        match self {
+            Literal::Str(id) | Literal::LangStr { value: id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// A coarse type tag, used by similarity dispatch and statistics.
+    pub fn kind(&self) -> LiteralKind {
+        match self {
+            Literal::Str(_) => LiteralKind::Str,
+            Literal::LangStr { .. } => LiteralKind::LangStr,
+            Literal::Integer(_) => LiteralKind::Integer,
+            Literal::Float(_) => LiteralKind::Float,
+            Literal::Boolean(_) => LiteralKind::Boolean,
+            Literal::Date(_) => LiteralKind::Date,
+        }
+    }
+
+    /// Renders the literal's lexical form (without quotes or datatype).
+    pub fn lexical(&self, interner: &Interner) -> Arc<str> {
+        match self {
+            Literal::Str(id) | Literal::LangStr { value: id, .. } => interner.resolve(*id),
+            Literal::Integer(i) => Arc::from(i.to_string().as_str()),
+            Literal::Float(fb) => Arc::from(format_float(fb.get()).as_str()),
+            Literal::Boolean(b) => Arc::from(if *b { "true" } else { "false" }),
+            Literal::Date(d) => Arc::from(d.to_string().as_str()),
+        }
+    }
+}
+
+/// Formats a float so that integral values keep a trailing `.0`, matching
+/// `xsd:double` canonical-ish output and guaranteeing re-parse as a float.
+pub(crate) fn format_float(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Discriminant of [`Literal`] without payload.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum LiteralKind {
+    /// Plain string.
+    Str,
+    /// Language-tagged string.
+    LangStr,
+    /// Integer.
+    Integer,
+    /// Floating point.
+    Float,
+    /// Boolean.
+    Boolean,
+    /// Calendar date.
+    Date,
+}
+
+/// An RDF term in object position: an IRI or a literal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A resource identified by IRI.
+    Iri(IriId),
+    /// A typed literal value.
+    Literal(Literal),
+}
+
+impl Term {
+    /// The IRI id, if this term is an IRI.
+    pub fn as_iri(&self) -> Option<IriId> {
+        match self {
+            Term::Iri(id) => Some(*id),
+            Term::Literal(_) => None,
+        }
+    }
+
+    /// The literal, if this term is a literal.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Iri(_) => None,
+            Term::Literal(l) => Some(l),
+        }
+    }
+}
+
+impl From<Literal> for Term {
+    fn from(l: Literal) -> Self {
+        Term::Literal(l)
+    }
+}
+
+impl From<IriId> for Term {
+    fn from(id: IriId) -> Self {
+        Term::Iri(id)
+    }
+}
+
+/// One RDF statement. Subjects and predicates are IRIs (blank-node subjects
+/// are interned under their `_:label` spelling).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Triple {
+    /// Subject IRI.
+    pub subject: IriId,
+    /// Predicate IRI.
+    pub predicate: IriId,
+    /// Object term.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Creates a triple.
+    pub fn new(subject: IriId, predicate: IriId, object: impl Into<Term>) -> Self {
+        Self { subject, predicate, object: object.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_bits_canonicalize_nan_and_zero() {
+        assert_eq!(FloatBits::new(f64::NAN), FloatBits::new(-f64::NAN));
+        assert_eq!(FloatBits::new(0.0), FloatBits::new(-0.0));
+        assert_eq!(FloatBits::new(1.5).get(), 1.5);
+    }
+
+    #[test]
+    fn float_bits_order_is_total() {
+        let mut v = vec![FloatBits::new(3.0), FloatBits::new(-1.0), FloatBits::new(2.0)];
+        v.sort();
+        let got: Vec<f64> = v.into_iter().map(FloatBits::get).collect();
+        assert_eq!(got, vec![-1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn literal_kind_and_accessors() {
+        let interner = Interner::new();
+        let s = Literal::str(&interner, "hello");
+        assert_eq!(s.kind(), LiteralKind::Str);
+        assert!(s.as_str_id().is_some());
+        assert_eq!(Literal::Integer(3).kind(), LiteralKind::Integer);
+        assert_eq!(Literal::Integer(3).as_str_id(), None);
+        let lang = Literal::LangStr { value: interner.intern("bonjour"), lang: interner.intern("fr") };
+        assert_eq!(lang.kind(), LiteralKind::LangStr);
+        assert_eq!(&*interner.resolve(lang.as_str_id().unwrap()), "bonjour");
+    }
+
+    #[test]
+    fn lexical_forms() {
+        let interner = Interner::new();
+        assert_eq!(&*Literal::str(&interner, "x").lexical(&interner), "x");
+        assert_eq!(&*Literal::Integer(-7).lexical(&interner), "-7");
+        assert_eq!(&*Literal::float(2.0).lexical(&interner), "2.0");
+        assert_eq!(&*Literal::float(2.5).lexical(&interner), "2.5");
+        assert_eq!(&*Literal::Boolean(true).lexical(&interner), "true");
+        let d = Date::new(1984, 12, 30).unwrap();
+        assert_eq!(&*Literal::Date(d).lexical(&interner), "1984-12-30");
+    }
+
+    #[test]
+    fn term_accessors() {
+        let interner = Interner::new();
+        let iri = IriId(interner.intern("http://example.org/x"));
+        let t: Term = iri.into();
+        assert_eq!(t.as_iri(), Some(iri));
+        assert!(t.as_literal().is_none());
+        let t: Term = Literal::Integer(1).into();
+        assert!(t.as_iri().is_none());
+        assert_eq!(t.as_literal(), Some(&Literal::Integer(1)));
+    }
+}

@@ -1,0 +1,50 @@
+//! Well-known vocabulary IRIs used throughout the workspace.
+
+/// `rdf:type`.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+/// `rdfs:label`.
+pub const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+/// `owl:sameAs` — the link predicate ALEX curates.
+pub const OWL_SAME_AS: &str = "http://www.w3.org/2002/07/owl#sameAs";
+/// `owl:Thing` — the non-distinctive categorical value called out in §4.2.
+pub const OWL_THING: &str = "http://www.w3.org/2002/07/owl#Thing";
+
+/// `xsd:string`.
+pub const XSD_STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+/// `xsd:integer`.
+pub const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+/// `xsd:int`.
+pub const XSD_INT: &str = "http://www.w3.org/2001/XMLSchema#int";
+/// `xsd:long`.
+pub const XSD_LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
+/// `xsd:double`.
+pub const XSD_DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+/// `xsd:float`.
+pub const XSD_FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+/// `xsd:decimal`.
+pub const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+/// `xsd:boolean`.
+pub const XSD_BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+/// `xsd:date`.
+pub const XSD_DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn iris_look_like_iris() {
+        for iri in [
+            super::RDF_TYPE,
+            super::RDFS_LABEL,
+            super::OWL_SAME_AS,
+            super::OWL_THING,
+            super::XSD_STRING,
+            super::XSD_INTEGER,
+            super::XSD_DOUBLE,
+            super::XSD_BOOLEAN,
+            super::XSD_DATE,
+        ] {
+            assert!(iri.starts_with("http://"), "{iri}");
+            assert!(!iri.contains(' '));
+        }
+    }
+}

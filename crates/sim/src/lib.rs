@@ -1,0 +1,28 @@
+//! # alex-sim — typed value similarity for ALEX
+//!
+//! Section 4.1 of the paper builds the similarity matrix between two
+//! entities "using a similarity function that returns a score in the range
+//! \[0, 1\]" and notes that ALEX "uses a generic similarity function that
+//! depends on the type of the attributes to be compared (string, integer,
+//! float, date, etc.)". This crate is that function:
+//!
+//! * [`string`] — edit-distance and token-based string metrics
+//!   (normalized Levenshtein, Jaro, Jaro-Winkler, token Jaccard, trigram
+//!   Jaccard, token cosine);
+//! * [`numeric`] — ratio similarity for numbers and a distance-decay
+//!   similarity for calendar dates;
+//! * [`value_similarity`] — the type-dispatching entry point over RDF
+//!   [`alex_rdf::Term`]s, configurable via [`SimConfig`].
+//!
+//! Every public metric is guaranteed to return a finite value in `[0, 1]`,
+//! to be symmetric in its arguments, and to return exactly `1.0` on equal
+//! inputs. The property tests in `tests/` enforce this for all of them.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod numeric;
+pub mod string;
+mod value;
+
+pub use value::{iri_local_name, value_similarity, NumericSim, SimConfig, StringMetric};

@@ -1,0 +1,293 @@
+//! String similarity metrics, all normalized to `[0, 1]`.
+//!
+//! All metrics operate on Unicode scalar values (not bytes), compare
+//! case-insensitively where noted, and cost `O(|a|·|b|)` or better — fine
+//! for attribute values, which are short.
+
+/// Levenshtein edit distance between two strings, counted over chars.
+///
+/// Classic two-row dynamic program; `O(|a|·|b|)` time, `O(min)` space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 − dist / max_len`, in `[0, 1]`.
+///
+/// Empty-vs-empty is defined as `1.0`.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity, in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_taken = vec![false; b.len()];
+    let mut matches: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_taken[j] && b[j] == ca {
+                b_taken[j] = true;
+                matches.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: compare matched sequences in order.
+    let b_matches: Vec<char> = b.iter().zip(&b_taken).filter(|(_, &t)| t).map(|(&c, _)| c).collect();
+    let t = matches.iter().zip(&b_matches).filter(|(x, y)| x != y).count() as f64 / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale `p = 0.1` and a
+/// prefix cap of 4, in `[0, 1]`.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (j + prefix * 0.1 * (1.0 - j)).min(1.0)
+}
+
+/// Splits a string into lowercase alphanumeric tokens.
+pub fn tokens(s: &str) -> Vec<String> {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+/// Jaccard similarity over the lowercase token *sets* of the two strings.
+///
+/// Empty-vs-empty is `1.0`; empty-vs-nonempty is `0.0`.
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    use std::collections::HashSet;
+    let ta: HashSet<String> = tokens(a).into_iter().collect();
+    let tb: HashSet<String> = tokens(b).into_iter().collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let inter = ta.intersection(&tb).count();
+    let union = ta.len() + tb.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Cosine similarity over lowercase token *multisets*.
+pub fn token_cosine(a: &str, b: &str) -> f64 {
+    use std::collections::HashMap;
+    let count = |s: &str| {
+        let mut m: HashMap<String, f64> = HashMap::new();
+        for t in tokens(s) {
+            *m.entry(t).or_insert(0.0) += 1.0;
+        }
+        m
+    };
+    let ca = count(a);
+    let cb = count(b);
+    if ca.is_empty() && cb.is_empty() {
+        return 1.0;
+    }
+    let dot: f64 = ca.iter().filter_map(|(k, v)| cb.get(k).map(|w| v * w)).sum();
+    let na: f64 = ca.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = cb.values().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+}
+
+/// Jaccard similarity over lowercase character trigrams (with `^`/`$`
+/// padding so short strings still produce grams).
+pub fn trigram_jaccard(a: &str, b: &str) -> f64 {
+    use std::collections::HashSet;
+    fn grams(s: &str) -> HashSet<(char, char, char)> {
+        let padded: Vec<char> = std::iter::once('^')
+            .chain(s.to_lowercase().chars())
+            .chain(std::iter::once('$'))
+            .collect();
+        padded.windows(3).map(|w| (w[0], w[1], w[2])).collect()
+    }
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let ga = grams(a);
+    let gb = grams(b);
+    let inter = ga.intersection(&gb).count();
+    let union = ga.len() + gb.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Monge-Elkan similarity: for each token of the shorter side, take its
+/// best match (by normalized Levenshtein) among the other side's tokens,
+/// and average. Symmetrized by evaluating both directions and taking the
+/// mean. Strong on multi-token names where individual tokens carry typos.
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    fn directed(xs: &[String], ys: &[String]) -> f64 {
+        let total: f64 = xs
+            .iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| levenshtein_similarity(x, y))
+                    .fold(0.0f64, f64::max)
+            })
+            .sum();
+        total / xs.len() as f64
+    }
+    (directed(&ta, &tb) + directed(&tb, &ta)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        // Unicode-aware: one char substitution, not several byte edits.
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn levenshtein_similarity_normalization() {
+        close(levenshtein_similarity("", ""), 1.0);
+        close(levenshtein_similarity("abc", "abc"), 1.0);
+        close(levenshtein_similarity("abc", "xyz"), 0.0);
+        close(levenshtein_similarity("kitten", "sitting"), 1.0 - 3.0 / 7.0);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        close(jaro("martha", "marhta"), 0.944_444_444_444_444_4);
+        close(jaro("dixon", "dicksonx"), 0.766_666_666_666_666_7);
+        close(jaro("", ""), 1.0);
+        close(jaro("a", ""), 0.0);
+        close(jaro("abc", "abc"), 1.0);
+        close(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_known_values() {
+        close(jaro_winkler("martha", "marhta"), 0.961_111_111_111_111_1);
+        close(jaro_winkler("dixon", "dicksonx"), 0.813_333_333_333_333_3);
+        // Prefix bonus never exceeds 1.
+        close(jaro_winkler("same", "same"), 1.0);
+    }
+
+    #[test]
+    fn tokenization() {
+        assert_eq!(tokens("LeBron James, 2013 NBA-MVP!"), vec!["lebron", "james", "2013", "nba", "mvp"]);
+        assert!(tokens("---").is_empty());
+    }
+
+    #[test]
+    fn token_jaccard_behaviour() {
+        close(token_jaccard("LeBron James", "james lebron"), 1.0);
+        close(token_jaccard("a b", "b c"), 1.0 / 3.0);
+        close(token_jaccard("", ""), 1.0);
+        close(token_jaccard("a", ""), 0.0);
+        close(token_jaccard("...", "..."), 1.0); // both tokenless
+    }
+
+    #[test]
+    fn token_cosine_behaviour() {
+        close(token_cosine("a a b", "a a b"), 1.0);
+        close(token_cosine("a", "b"), 0.0);
+        close(token_cosine("", ""), 1.0);
+        let v = token_cosine("a b", "b c");
+        assert!(v > 0.0 && v < 1.0);
+    }
+
+    #[test]
+    fn monge_elkan_behaviour() {
+        close(monge_elkan("LeBron James", "lebron james"), 1.0);
+        // Per-token typo: stays high where token jaccard collapses.
+        let me = monge_elkan("lebrn james", "lebron james");
+        assert!(me > 0.85, "{me}");
+        assert!(token_jaccard("lebrn james", "lebron james") < 0.5);
+        // Unrelated names score low.
+        assert!(monge_elkan("prandel korth", "zyx wvu") < 0.5);
+        close(monge_elkan("", ""), 1.0);
+        close(monge_elkan("a", ""), 0.0);
+        // Symmetric.
+        close(
+            monge_elkan("alpha beta gamma", "beta alpha"),
+            monge_elkan("beta alpha", "alpha beta gamma"),
+        );
+    }
+
+    #[test]
+    fn trigram_jaccard_behaviour() {
+        close(trigram_jaccard("abc", "abc"), 1.0);
+        assert!(trigram_jaccard("night", "nacht") > 0.0);
+        assert!(trigram_jaccard("night", "nacht") < 0.5);
+        close(trigram_jaccard("", ""), 1.0);
+        close(trigram_jaccard("", "x"), 0.0);
+        // Case-insensitive.
+        close(trigram_jaccard("ABC", "abc"), 1.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests: every similarity metric is a bounded, symmetric,
+//! reflexive-at-one function.
+
+use alex_rdf::{Date, Interner, Literal, Term};
+use alex_sim::{numeric, string, value_similarity, SimConfig, StringMetric};
+use proptest::prelude::*;
+
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~éλ]{0,24}").unwrap()
+}
+
+prop_compose! {
+    fn arb_date()(year in 1i32..=2500, month in 1u8..=12, day in 1u8..=28) -> Date {
+        Date::new(year, month, day).unwrap()
+    }
+}
+
+fn arb_term() -> impl Strategy<Value = TermSpec> {
+    prop_oneof![
+        arb_text().prop_map(TermSpec::Str),
+        any::<i64>().prop_map(TermSpec::Int),
+        (-1.0e9f64..1.0e9).prop_map(TermSpec::Float),
+        any::<bool>().prop_map(TermSpec::Bool),
+        arb_date().prop_map(TermSpec::Date),
+        "[a-z]{1,10}".prop_map(|s| TermSpec::Iri(format!("http://ex/{s}"))),
+    ]
+}
+
+#[derive(Clone, Debug)]
+enum TermSpec {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Date(Date),
+    Iri(String),
+}
+
+impl TermSpec {
+    fn build(&self, i: &Interner) -> Term {
+        match self {
+            TermSpec::Str(s) => Literal::str(i, s).into(),
+            TermSpec::Int(v) => Literal::Integer(*v).into(),
+            TermSpec::Float(v) => Literal::float(*v).into(),
+            TermSpec::Bool(v) => Literal::Boolean(*v).into(),
+            TermSpec::Date(d) => Literal::Date(*d).into(),
+            TermSpec::Iri(s) => alex_rdf::IriId(i.intern(s)).into(),
+        }
+    }
+}
+
+const METRICS: [StringMetric; 6] = [
+    StringMetric::Levenshtein,
+    StringMetric::JaroWinkler,
+    StringMetric::TokenJaccard,
+    StringMetric::TrigramJaccard,
+    StringMetric::MongeElkan,
+    StringMetric::Hybrid,
+];
+
+proptest! {
+    #[test]
+    fn string_metrics_bounded_symmetric_reflexive(a in arb_text(), b in arb_text()) {
+        for m in METRICS {
+            let ab = m.apply(&a, &b);
+            let ba = m.apply(&b, &a);
+            prop_assert!((0.0..=1.0).contains(&ab), "{m:?} out of range: {ab}");
+            prop_assert!((ab - ba).abs() < 1e-12, "{m:?} asymmetric: {ab} vs {ba}");
+            let aa = m.apply(&a, &a);
+            prop_assert!((aa - 1.0).abs() < 1e-12, "{m:?} not reflexive on {a:?}: {aa}");
+        }
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality(a in arb_text(), b in arb_text(), c in arb_text()) {
+        let ab = string::levenshtein(&a, &b);
+        let bc = string::levenshtein(&b, &c);
+        let ac = string::levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn numeric_similarity_bounded_symmetric(a in -1.0e12f64..1.0e12, b in -1.0e12f64..1.0e12) {
+        let ab = numeric::numeric_similarity(a, b);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - numeric::numeric_similarity(b, a)).abs() < 1e-12);
+        prop_assert!((numeric::numeric_similarity(a, a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn date_similarity_bounded_monotone(a in arb_date(), b in arb_date(), c in arb_date()) {
+        let half = 365.0;
+        let ab = numeric::date_similarity(a, b, half);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - numeric::date_similarity(b, a, half)).abs() < 1e-12);
+        prop_assert_eq!(numeric::date_similarity(a, a, half), 1.0);
+        // Closer dates never score lower.
+        if a.days_between(b) <= a.days_between(c) {
+            prop_assert!(ab + 1e-12 >= numeric::date_similarity(a, c, half));
+        }
+    }
+
+    #[test]
+    fn value_similarity_bounded_symmetric_reflexive(a in arb_term(), b in arb_term()) {
+        let i = Interner::new_shared();
+        let cfg = SimConfig::default();
+        let ta = a.build(&i);
+        let tb = b.build(&i);
+        let ab = value_similarity(&ta, &tb, &i, &cfg);
+        let ba = value_similarity(&tb, &ta, &i, &cfg);
+        prop_assert!((0.0..=1.0).contains(&ab), "out of range: {ab} for {a:?} {b:?}");
+        prop_assert!(ab.is_finite());
+        prop_assert!((ab - ba).abs() < 1e-12, "asymmetric: {ab} vs {ba} for {a:?} {b:?}");
+        let aa = value_similarity(&ta, &ta, &i, &cfg);
+        prop_assert!((aa - 1.0).abs() < 1e-12, "not reflexive on {a:?}: {aa}");
+    }
+}

@@ -1,0 +1,131 @@
+//! The full Figure-1 loop: federated SPARQL queries over two linked
+//! datasets, user feedback on the *answers*, and ALEX turning that feedback
+//! into link curation — removing the wrong link behind a rejected answer
+//! and discovering new links similar to an approved one.
+//!
+//! The query is the paper's motivating example: "Find all New York Times
+//! articles about the NBA's MVP of 2013."
+//!
+//! ```sh
+//! cargo run --example federated_feedback
+//! ```
+
+use std::collections::HashSet;
+
+use alex::query::FederatedEngine;
+use alex::rdf::{Interner, Link, Literal, Store};
+use alex::{AlexConfig, ExplorationSpace, PartitionEngine, DEFAULT_MAX_BLOCK};
+
+fn main() {
+    // ---- datasets -------------------------------------------------------
+    let interner = Interner::new_shared();
+    let mut dbpedia = Store::new(interner.clone());
+    let mut nytimes = Store::new(interner.clone());
+
+    let name_db = dbpedia.intern_iri("http://dbpedia/name");
+    let award = dbpedia.intern_iri("http://dbpedia/award");
+    let mvp2013 = dbpedia.intern_iri("http://dbpedia/NBA_MVP_2013");
+    let name_ny = nytimes.intern_iri("http://nytimes/fullName");
+    let about = nytimes.intern_iri("http://nytimes/about");
+
+    let players = ["LeBron James", "Kobe Bryant", "Tim Duncan", "Kevin Durant"];
+    let mut db_ids = Vec::new();
+    let mut ny_ids = Vec::new();
+    for (i, player) in players.iter().enumerate() {
+        let l = dbpedia.intern_iri(&format!("http://dbpedia/player{i}"));
+        dbpedia.insert_literal(l, name_db, Literal::str(&interner, player));
+        db_ids.push(l);
+        let r = nytimes.intern_iri(&format!("http://nytimes/person{i}"));
+        nytimes.insert_literal(r, name_ny, Literal::str(&interner, player));
+        ny_ids.push(r);
+        let article = nytimes.intern_iri(&format!("http://nytimes/article{i}"));
+        nytimes.insert_iri(article, about, r);
+    }
+    dbpedia.insert_iri(db_ids[0], award, mvp2013); // LeBron is the 2013 MVP
+
+    // ---- candidate links: one correct, one wrong ------------------------
+    let good = Link::new(db_ids[0], ny_ids[0]); // LeBron = LeBron
+    let wrong = Link::new(db_ids[0], ny_ids[1]); // LeBron = Kobe (!)
+
+    // ---- ALEX engine over the full pair ---------------------------------
+    let subjects: Vec<_> = dbpedia.subjects().collect();
+    let cfg = AlexConfig { epsilon: 0.0, ..Default::default() };
+    let space = ExplorationSpace::build(
+        &dbpedia,
+        &nytimes,
+        &subjects,
+        &cfg.sim,
+        cfg.theta,
+        DEFAULT_MAX_BLOCK,
+    );
+    let mut engine = PartitionEngine::new(space, [good, wrong], cfg, 7);
+
+    // ---- the federated query system (Figure 1) --------------------------
+    let run_query = |links: Vec<Link>| -> Vec<(String, Vec<Link>)> {
+        let mut fed = FederatedEngine::new(vec![
+            ("dbpedia".into(), &dbpedia),
+            ("nytimes".into(), &nytimes),
+        ]);
+        fed.add_links(links);
+        fed.execute_str(
+            "SELECT ?article WHERE { \
+               ?player <http://dbpedia/award> <http://dbpedia/NBA_MVP_2013> . \
+               ?article <http://nytimes/about> ?player }",
+        )
+        .expect("query is well-formed")
+        .into_iter()
+        .map(|a| {
+            let iri = a.row[0].expect("bound").as_iri().expect("articles are IRIs");
+            (nytimes.iri_str(iri).to_string(), a.links)
+        })
+        .collect()
+    };
+
+    println!("query: all NYTimes articles about the NBA MVP of 2013\n");
+    let answers = run_query(engine.candidates().iter().collect());
+    for (article, links) in &answers {
+        println!("answer: {article} (via {} link(s))", links.len());
+    }
+    assert_eq!(answers.len(), 2, "correct + wrong link each produce an answer");
+
+    // ---- the user gives feedback on the answers -------------------------
+    // article0 is about LeBron (correct); article1 is about Kobe (wrong).
+    for (article, links) in answers {
+        let verdict = article.ends_with("article0");
+        println!("user marks {article} as {}", if verdict { "correct" } else { "incorrect" });
+        for link in links {
+            engine.process_feedback(link, verdict);
+        }
+    }
+    engine.end_episode();
+
+    // ---- effect on the candidate links -----------------------------------
+    assert!(engine.candidates().contains(good));
+    assert!(!engine.candidates().contains(wrong), "rejected link is removed");
+    assert!(engine.blacklist().contains(&wrong), "and blacklisted");
+    println!("\nafter feedback: wrong link removed and blacklisted");
+
+    // Positive feedback triggered exploration around the approved link:
+    // the other three players' (identical-name) pairs were discovered.
+    let discovered: Vec<String> = engine
+        .candidates()
+        .iter()
+        .filter(|l| *l != good)
+        .map(|l| format!("{} <-> {}", dbpedia.iri_str(l.left), nytimes.iri_str(l.right)))
+        .collect();
+    println!("discovered {} new candidate link(s):", discovered.len());
+    for d in &discovered {
+        println!("  {d}");
+    }
+    assert!(
+        discovered.len() >= 3,
+        "exploration should find the other players, got {discovered:?}"
+    );
+
+    // Re-running the query answers through the curated links only.
+    let answers = run_query(engine.candidates().iter().collect());
+    let wrong_answers: HashSet<String> =
+        answers.iter().filter(|(a, _)| !a.ends_with("article0")).map(|(a, _)| a.clone()).collect();
+    assert!(wrong_answers.is_empty(), "no wrong answers remain: {wrong_answers:?}");
+    println!("\nre-running the query now returns only the correct article");
+}

@@ -1,0 +1,75 @@
+//! File-based pipeline: serialize generated datasets to N-Triples, reload
+//! them as a real deployment would, run PARIS, and print the links with
+//! their scores as `owl:sameAs` triples.
+//!
+//! ```sh
+//! cargo run --example ntriples_pipeline
+//! ```
+
+use std::io::Write;
+
+use alex::paris::{ParisConfig, ParisLinker};
+use alex::rdf::{ntriples, Interner, Store};
+use alex::datagen::{generate, PaperPair};
+
+fn main() -> std::io::Result<()> {
+    // 1. Generate a small pair and persist both sides as N-Triples.
+    let pair = generate(&PaperPair::OpencycDrugbank.spec(0.5, 11));
+    let dir = std::env::temp_dir().join("alex_ntriples_pipeline");
+    std::fs::create_dir_all(&dir)?;
+    let left_path = dir.join("left.nt");
+    let right_path = dir.join("right.nt");
+    std::fs::write(&left_path, ntriples::write_string(&pair.left))?;
+    std::fs::write(&right_path, ntriples::write_string(&pair.right))?;
+    println!("wrote {} and {}", left_path.display(), right_path.display());
+
+    // 2. Reload from disk into a fresh interner, as a downstream user would.
+    let interner = Interner::new_shared();
+    let mut left = Store::new(interner.clone());
+    let mut right = Store::new(interner.clone());
+    let n = ntriples::read_into(
+        std::io::BufReader::new(std::fs::File::open(&left_path)?),
+        &mut left,
+    )
+    .expect("own output must re-parse");
+    println!("reloaded left: {n} triples");
+    let n = ntriples::read_into(
+        std::io::BufReader::new(std::fs::File::open(&right_path)?),
+        &mut right,
+    )
+    .expect("own output must re-parse");
+    println!("reloaded right: {n} triples");
+
+    // 3. Automatic linking on the reloaded stores.
+    let config = ParisConfig { iterations: 5, ..Default::default() };
+    let output = ParisLinker::new(config).run(&left, &right);
+    println!(
+        "PARIS examined {} candidate pairs, produced {} links",
+        output.candidates_examined,
+        output.links.len()
+    );
+
+    // 4. Emit the links as owl:sameAs N-Triples (the LOD publishing format).
+    let links_path = dir.join("links.nt");
+    let mut link_store = Store::new(interner.clone());
+    for scored in &output.links {
+        let triple = scored.link.to_triple(&link_store);
+        link_store.insert(triple);
+    }
+    let mut file = std::fs::File::create(&links_path)?;
+    ntriples::write_store(&link_store, &mut file)?;
+    file.flush()?;
+    println!("wrote {} owl:sameAs links to {}", link_store.len(), links_path.display());
+
+    // 5. Show the five most confident links, human-readably.
+    println!("\ntop links:");
+    for scored in output.links.iter().take(5) {
+        println!(
+            "  {:.3}  {}  <->  {}",
+            scored.score,
+            left.iri_str(scored.link.left),
+            right.iri_str(scored.link.right)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Resumable curation: run a few episodes, snapshot the session to JSON,
+//! "restart the process" (drop everything), restore from the snapshot, and
+//! continue — the blacklist and candidate set carry over, so no feedback
+//! is wasted re-rejecting known-bad links.
+//!
+//! ```sh
+//! cargo run --example resumable_session
+//! ```
+
+use alex::datagen::{degrade, generate, PaperPair};
+use alex::{AlexConfig, AlexDriver, ExactOracle};
+use alex::SessionSnapshot;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let pair = generate(&PaperPair::OpencycNytimes.spec(0.8, 23));
+    let mut rng = StdRng::seed_from_u64(5);
+    let initial = degrade(&pair.truth, 0.7, 0.3, &mut rng);
+
+    let cfg = AlexConfig {
+        episode_size: 40,
+        partitions: 4,
+        max_episodes: 3, // deliberately stop early: "the user went home"
+        ..Default::default()
+    };
+
+    // --- day one -----------------------------------------------------------
+    let mut driver =
+        AlexDriver::new(&pair.left, &pair.right, &initial, cfg).expect("valid config");
+    let oracle = ExactOracle::new(pair.truth.clone());
+    let day1 = driver.run(&oracle, &pair.truth);
+    let q1 = day1.final_quality();
+    println!(
+        "day 1: {} episodes, F {:.3} ({} candidates)",
+        day1.reports.len() - 1,
+        q1.f1,
+        day1.final_links.len()
+    );
+
+    let snapshot_path = std::env::temp_dir().join("alex_session.json");
+    let snap = SessionSnapshot::capture(&driver, &pair.left, &pair.right);
+    std::fs::write(&snapshot_path, snap.to_json()).expect("write snapshot");
+    println!(
+        "saved session to {} ({} candidates, {} blacklisted)",
+        snapshot_path.display(),
+        snap.candidates.len(),
+        snap.blacklist.len()
+    );
+    drop(driver); // the process "exits"
+
+    // --- day two: a fresh process restores and continues -------------------
+    let text = std::fs::read_to_string(&snapshot_path).expect("read snapshot");
+    let restored = SessionSnapshot::from_json(&text).expect("valid snapshot");
+    let driver = restored.restore(&pair.left, &pair.right).expect("restore");
+    // Lift the episode cap for the continued run.
+    assert_eq!(driver.config().max_episodes, 3, "config round-trips");
+    let restored_with_budget = SessionSnapshot {
+        config: AlexConfig { max_episodes: 60, ..restored.config.clone() },
+        ..restored
+    };
+    let mut driver2 = restored_with_budget.restore(&pair.left, &pair.right).expect("restore");
+    let day2 = driver2.run(&oracle, &pair.truth);
+    let q2 = day2.final_quality();
+    println!(
+        "day 2: {} more episodes, F {:.3} -> {:.3} (strict convergence {:?})",
+        day2.reports.len() - 1,
+        q1.f1,
+        q2.f1,
+        day2.strict_convergence
+    );
+    assert!(q2.f1 >= q1.f1, "continued curation must not regress");
+    let _ = driver.candidate_links(); // driver from the capped restore, unused further
+}

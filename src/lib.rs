@@ -1,0 +1,54 @@
+//! # alex — Automatic Link Exploration in Linked Data
+//!
+//! A complete Rust reproduction of *El-Roby & Aboulnaga, "ALEX: Automatic
+//! Link Exploration in Linked Data", SIGMOD 2015*, including every
+//! substrate the system depends on:
+//!
+//! | module | crate | role |
+//! |--------|-------|------|
+//! | [`rdf`] | `alex-rdf` | interned RDF model, indexed triple store, N-Triples I/O |
+//! | [`sim`] | `alex-sim` | typed value-similarity functions |
+//! | [`paris`] | `alex-paris` | the PARIS automatic linker (initial candidate links) |
+//! | [`query`] | `alex-query` | SPARQL-subset + federated engine with link provenance |
+//! | [`datagen`] | `alex-datagen` | synthetic dataset pairs mirroring the paper's Table 1 |
+//! | (root) | `alex-core` | the reinforcement-learning link explorer itself |
+//!
+//! ## The pipeline in one page
+//!
+//! ```
+//! use alex::datagen::{self, PaperPair};
+//! use alex::paris::ParisLinker;
+//! use alex::{AlexConfig, AlexDriver, ExactOracle};
+//!
+//! // 1. Two RDF datasets describing an overlapping world.
+//! let pair = datagen::generate(&PaperPair::OpencycNbaNytimes.spec(0.5, 7));
+//!
+//! // 2. An automatic linker proposes initial candidate links.
+//! let initial = ParisLinker::default().run(&pair.left, &pair.right).above_threshold(0.5);
+//!
+//! // 3. ALEX explores around links the (simulated) user approves.
+//! let cfg = AlexConfig { episode_size: 20, partitions: 2, ..Default::default() };
+//! let mut driver = AlexDriver::new(&pair.left, &pair.right, &initial, cfg).unwrap();
+//! let outcome = driver.run(&ExactOracle::new(pair.truth.clone()), &pair.truth);
+//!
+//! // 4. Link quality improved over the automatic baseline.
+//! let start = outcome.reports[0].quality;
+//! let end = outcome.final_quality();
+//! assert!(end.f1 >= start.f1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use alex_datagen as datagen;
+pub use alex_paris as paris;
+pub use alex_query as query;
+pub use alex_rdf as rdf;
+pub use alex_sim as sim;
+
+pub use alex_core::{
+    round_robin, AlexConfig, AlexDriver, CandidateSet, EpisodeReport, ExactOracle,
+    ExplorationSpace, Feature, FeatureKey, FeatureSet, FeedbackOracle, NoisyOracle,
+    PartitionEngine, PartitionEpisodeStats, Policy, QTable, Quality, ReluctantOracle, RunOutcome,
+    SessionError, SessionSnapshot, StateAction, DEFAULT_MAX_BLOCK, SNAPSHOT_VERSION,
+};

@@ -1,0 +1,154 @@
+//! Cross-crate integration: datagen → PARIS → ALEX, the complete pipeline.
+
+use alex::datagen::{self, degrade, measure, PaperPair};
+use alex::paris::{ParisConfig, ParisLinker};
+use alex::{AlexConfig, AlexDriver, ExactOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_cfg(episode_size: usize) -> AlexConfig {
+    AlexConfig { episode_size, partitions: 4, max_episodes: 60, ..Default::default() }
+}
+
+#[test]
+fn paris_then_alex_improves_over_baseline() {
+    let pair = datagen::generate(&PaperPair::OpencycNbaNytimes.spec(1.0, 3));
+    let paris = ParisLinker::new(ParisConfig::default()).run(&pair.left, &pair.right);
+    let initial = paris.above_threshold(0.5);
+    let (p0, r0) = measure(&initial, &pair.truth);
+    assert!(p0 > 0.5, "PARIS precision should be reasonable, got {p0}");
+
+    let mut driver =
+        AlexDriver::new(&pair.left, &pair.right, &initial, small_cfg(10)).unwrap();
+    let oracle = ExactOracle::new(pair.truth.clone());
+    let out = driver.run(&oracle, &pair.truth);
+
+    let q0 = out.reports[0].quality;
+    let qn = out.final_quality();
+    assert!(qn.f1 >= q0.f1, "ALEX must not degrade PARIS output: {q0:?} -> {qn:?}");
+    assert!(qn.recall >= r0, "recall must not drop: {r0} -> {}", qn.recall);
+}
+
+#[test]
+fn low_recall_start_recovers_most_links() {
+    // The Figure 2(a) regime at small scale.
+    let pair = datagen::generate(&PaperPair::DbpediaNytimes.spec(0.3, 5));
+    let mut rng = StdRng::seed_from_u64(9);
+    let initial = degrade(&pair.truth, 0.85, 0.2, &mut rng);
+    let mut driver = AlexDriver::new(&pair.left, &pair.right, &initial, small_cfg(50)).unwrap();
+    let oracle = ExactOracle::new(pair.truth.clone());
+    let out = driver.run(&oracle, &pair.truth);
+
+    assert!(out.reports[0].quality.recall < 0.25);
+    let qn = out.final_quality();
+    assert!(qn.recall > 0.7, "recall should recover substantially, got {qn:?}");
+    assert!(qn.precision > 0.8, "precision should hold, got {qn:?}");
+    // Recall must jump sharply in the very first episode, as in Fig 2(a).
+    assert!(
+        out.reports[1].quality.recall > 0.5,
+        "first-episode recall jump missing: {:?}",
+        out.reports[1].quality
+    );
+}
+
+#[test]
+fn low_precision_start_gets_cleaned() {
+    // The Figure 2(b) regime: good recall, terrible precision.
+    let pair = datagen::generate(&PaperPair::DbpediaDrugbank.spec(0.5, 5));
+    let mut rng = StdRng::seed_from_u64(9);
+    let initial = degrade(&pair.truth, 0.3, 0.95, &mut rng);
+    let mut driver = AlexDriver::new(&pair.left, &pair.right, &initial, small_cfg(40)).unwrap();
+    let oracle = ExactOracle::new(pair.truth.clone());
+    let out = driver.run(&oracle, &pair.truth);
+
+    assert!(out.reports[0].quality.precision < 0.4);
+    let qn = out.final_quality();
+    assert!(qn.precision > 0.8, "wrong links should be removed, got {qn:?}");
+    assert!(qn.recall > 0.9, "recall should be preserved, got {qn:?}");
+}
+
+#[test]
+fn discovered_links_are_real_pairs() {
+    // Every link ALEX reports must reference entities that actually exist
+    // in the respective datasets.
+    let pair = datagen::generate(&PaperPair::OpencycSwdf.spec(1.0, 11));
+    let mut rng = StdRng::seed_from_u64(2);
+    let initial = degrade(&pair.truth, 0.9, 0.5, &mut rng);
+    let mut driver = AlexDriver::new(&pair.left, &pair.right, &initial, small_cfg(10)).unwrap();
+    let oracle = ExactOracle::new(pair.truth.clone());
+    let out = driver.run(&oracle, &pair.truth);
+
+    let left_entities: std::collections::HashSet<_> = pair.left.subjects().collect();
+    let right_entities: std::collections::HashSet<_> = pair.right.subjects().collect();
+    for link in &out.final_links {
+        assert!(left_entities.contains(&link.left), "unknown left entity in {link:?}");
+        assert!(right_entities.contains(&link.right), "unknown right entity in {link:?}");
+    }
+}
+
+#[test]
+fn run_is_deterministic_for_single_partition() {
+    let pair = datagen::generate(&PaperPair::OpencycLexvo.spec(1.0, 13));
+    let mut rng = StdRng::seed_from_u64(4);
+    let initial = degrade(&pair.truth, 0.5, 0.4, &mut rng);
+    let cfg = AlexConfig { episode_size: 25, partitions: 1, max_episodes: 20, ..Default::default() };
+    let run = || {
+        let mut d = AlexDriver::new(&pair.left, &pair.right, &initial, cfg.clone()).unwrap();
+        let oracle = ExactOracle::new(pair.truth.clone());
+        let out = d.run(&oracle, &pair.truth);
+        let mut links: Vec<_> = out.final_links.into_iter().collect();
+        links.sort();
+        (out.reports.len(), links)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn ntriples_round_trip_preserves_alex_outcome() {
+    // Serialize a generated pair, reload it, and verify ALEX reaches the
+    // same final quality — the storage layer must be faithful.
+    use alex::rdf::{ntriples, Interner, Link, Store};
+
+    let pair = datagen::generate(&PaperPair::OpencycNbaNytimes.spec(1.0, 21));
+    let left_text = ntriples::write_string(&pair.left);
+    let right_text = ntriples::write_string(&pair.right);
+
+    let interner = Interner::new_shared();
+    let mut left2 = Store::new(interner.clone());
+    let mut right2 = Store::new(interner.clone());
+    ntriples::read_str(&left_text, &mut left2).unwrap();
+    ntriples::read_str(&right_text, &mut right2).unwrap();
+    assert_eq!(left2.len(), pair.left.len());
+    assert_eq!(right2.len(), pair.right.len());
+
+    // Remap the ground truth into the new interner via IRI strings.
+    let truth2: std::collections::HashSet<Link> = pair
+        .truth
+        .iter()
+        .map(|l| {
+            Link::new(
+                left2.intern_iri(&pair.left.iri_str(l.left)),
+                right2.intern_iri(&pair.right.iri_str(l.right)),
+            )
+        })
+        .collect();
+
+    let cfg = AlexConfig { episode_size: 10, partitions: 1, max_episodes: 30, ..Default::default() };
+    let run = |left: &Store, right: &Store, truth: &std::collections::HashSet<Link>| {
+        let initial: Vec<Link> = {
+            let mut v: Vec<Link> = truth.iter().copied().collect();
+            v.sort();
+            v.truncate(truth.len() / 2);
+            v
+        };
+        let mut d = AlexDriver::new(left, right, &initial, cfg.clone()).unwrap();
+        let oracle = ExactOracle::new(truth.clone());
+        let out = d.run(&oracle, truth);
+        out.final_quality()
+    };
+    let q1 = run(&pair.left, &pair.right, &pair.truth);
+    let q2 = run(&left2, &right2, &truth2);
+    // Interner ids differ, so RNG-dependent trajectories may differ, but
+    // both runs must land in the same quality regime.
+    assert!((q1.f1 - q2.f1).abs() < 0.15, "{q1:?} vs {q2:?}");
+}

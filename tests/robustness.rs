@@ -1,0 +1,132 @@
+//! Integration: robustness and optimization ablations (paper §6, §7.3,
+//! Appendix C).
+
+use alex::datagen::{self, degrade, PaperPair};
+use alex::{AlexConfig, AlexDriver, ExactOracle, NoisyOracle, ReluctantOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(
+    kind: PaperPair,
+    scale: f64,
+    tweak: impl FnOnce(&mut AlexConfig),
+) -> (datagen::GeneratedPair, Vec<alex::rdf::Link>, AlexConfig) {
+    let pair = datagen::generate(&kind.spec(scale, 17));
+    let (p0, r0) = kind.initial_quality();
+    let mut rng = StdRng::seed_from_u64(3);
+    let initial = degrade(&pair.truth, p0, r0, &mut rng);
+    let mut cfg = AlexConfig {
+        episode_size: kind.suggested_episode_size(scale),
+        partitions: 4,
+        ..Default::default()
+    };
+    tweak(&mut cfg);
+    (pair, initial, cfg)
+}
+
+#[test]
+fn noisy_feedback_preserves_recall() {
+    // Appendix C: with 10% incorrect feedback (and corroboration-based
+    // blacklisting) recall barely moves.
+    let (pair, initial, cfg) = setup(PaperPair::DbpediaNytimes, 0.4, |c| {
+        c.max_episodes = 15;
+        c.blacklist_threshold = 2;
+    });
+    let clean = {
+        let mut d = AlexDriver::new(&pair.left, &pair.right, &initial, cfg.clone()).unwrap();
+        d.run(&ExactOracle::new(pair.truth.clone()), &pair.truth)
+    };
+    let noisy = {
+        let mut d = AlexDriver::new(&pair.left, &pair.right, &initial, cfg).unwrap();
+        let oracle = NoisyOracle::new(ExactOracle::new(pair.truth.clone()), 0.10);
+        d.run(&oracle, &pair.truth)
+    };
+    let rc = clean.final_quality().recall;
+    let rn = noisy.final_quality().recall;
+    assert!(rn > rc - 0.2, "noisy recall {rn} should stay near clean recall {rc}");
+    assert!(rn > 0.6, "noisy recall should stay substantial, got {rn}");
+}
+
+#[test]
+fn reluctant_users_just_slow_things_down() {
+    // §3.2: users may skip feedback; ALEX still improves, only slower.
+    let (pair, initial, cfg) = setup(PaperPair::OpencycNytimes, 0.6, |c| c.max_episodes = 40);
+    let mut d = AlexDriver::new(&pair.left, &pair.right, &initial, cfg).unwrap();
+    let oracle = ReluctantOracle::new(ExactOracle::new(pair.truth.clone()), 0.5);
+    let out = d.run(&oracle, &pair.truth);
+    assert!(
+        out.final_quality().f1 > out.reports[0].quality.f1,
+        "quality should still improve with 50% response rate"
+    );
+}
+
+#[test]
+fn blacklist_ablation_slows_convergence() {
+    let (pair, initial, with_cfg) = setup(PaperPair::OpencycDrugbank, 1.0, |_| {});
+    let (.., without_cfg) = setup(PaperPair::OpencycDrugbank, 1.0, |c| c.blacklist = false);
+
+    let episodes = |cfg: AlexConfig| {
+        let mut d = AlexDriver::new(&pair.left, &pair.right, &initial, cfg).unwrap();
+        let out = d.run(&ExactOracle::new(pair.truth.clone()), &pair.truth);
+        (out.reports.len(), out.final_quality())
+    };
+    let (with_eps, with_q) = episodes(with_cfg);
+    let (without_eps, without_q) = episodes(without_cfg);
+
+    // Both reach good quality; the blacklist variant never does *worse* on
+    // episode count (removed links cannot be re-explored and re-judged).
+    assert!(with_q.f1 > 0.85, "{with_q:?}");
+    assert!(without_q.f1 > 0.7, "{without_q:?}");
+    assert!(
+        with_eps <= without_eps + 2,
+        "blacklist should not slow convergence: {with_eps} vs {without_eps}"
+    );
+}
+
+#[test]
+fn harsher_negative_rewards_still_converge() {
+    // §4.3: "we can severely penalize wrong links" — the reward asymmetry
+    // knob must not break learning.
+    let (pair, initial, cfg) = setup(PaperPair::OpencycNbaNytimes, 1.0, |c| {
+        c.negative_reward = -3.0;
+    });
+    let mut d = AlexDriver::new(&pair.left, &pair.right, &initial, cfg).unwrap();
+    let out = d.run(&ExactOracle::new(pair.truth.clone()), &pair.truth);
+    assert!(out.final_quality().f1 > 0.8, "{:?}", out.final_quality());
+}
+
+#[test]
+fn step_size_monotonicity_in_discovery() {
+    // Appendix D, Figure 10(b): a larger step size discovers at least as
+    // many links early on.
+    let recall_after_two_episodes = |step: f64| {
+        let (pair, initial, cfg) = setup(PaperPair::DbpediaNytimes, 0.4, |c| {
+            c.step_size = step;
+            c.max_episodes = 2;
+        });
+        let mut d = AlexDriver::new(&pair.left, &pair.right, &initial, cfg).unwrap();
+        let out = d.run(&ExactOracle::new(pair.truth.clone()), &pair.truth);
+        out.final_quality().recall
+    };
+    let small = recall_after_two_episodes(0.01);
+    let large = recall_after_two_episodes(0.10);
+    assert!(
+        large >= small - 0.05,
+        "larger steps should not discover materially less: {small} vs {large}"
+    );
+}
+
+#[test]
+fn relaxed_stop_trades_quality_for_episodes() {
+    let (pair, initial, cfg) = setup(PaperPair::DbpediaLexvo, 1.0, |c| c.stop_at_relaxed = true);
+    let mut d = AlexDriver::new(&pair.left, &pair.right, &initial, cfg.clone()).unwrap();
+    let relaxed = d.run(&ExactOracle::new(pair.truth.clone()), &pair.truth);
+
+    let strict_cfg = AlexConfig { stop_at_relaxed: false, ..cfg };
+    let mut d = AlexDriver::new(&pair.left, &pair.right, &initial, strict_cfg).unwrap();
+    let strict = d.run(&ExactOracle::new(pair.truth.clone()), &pair.truth);
+
+    assert!(relaxed.reports.len() <= strict.reports.len());
+    // The relaxed stop still lands close to the strict-run quality.
+    assert!(relaxed.final_quality().f1 > strict.final_quality().f1 - 0.25);
+}
