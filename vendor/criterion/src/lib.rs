@@ -1,0 +1,222 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`/`bench_function`, `Bencher::iter`/`iter_batched`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/
+//! `criterion_main!` macros — backed by a deliberately small wall-clock
+//! measurement loop (short warmup, ~10 ms measurement per benchmark) so
+//! the bench binaries stay fast even when `cargo test` executes them.
+//! No statistics, plots, or comparison against saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in times every
+/// routine call individually, so the variants only exist for API
+/// compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every call.
+    PerIteration,
+}
+
+/// Units for reporting throughput alongside time per iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+const WARMUP_ITERS: u32 = 3;
+const MAX_SAMPLES: u32 = 64;
+const TIME_BUDGET: Duration = Duration::from_millis(10);
+
+impl Bencher {
+    fn new() -> Self {
+        Self { samples: Vec::new() }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let budget_start = Instant::now();
+        for _ in 0..MAX_SAMPLES {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let budget_start = Instant::now();
+        for _ in 0..MAX_SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+/// Benchmark registry; measures and prints each registered function.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Measures a single benchmark.
+    pub fn bench_function<N, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        N: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates for following benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measures one benchmark inside the group.
+    pub fn bench_function<N, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        N: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher::new();
+    f(&mut bencher);
+    let mean = bencher.mean();
+    let rate = throughput.map(|t| {
+        let secs = mean.as_secs_f64();
+        match t {
+            _ if secs <= 0.0 => String::new(),
+            Throughput::Elements(n) => format!("  {:.3} Melem/s", n as f64 / secs / 1e6),
+            Throughput::Bytes(n) => format!("  {:.3} MiB/s", n as f64 / secs / (1 << 20) as f64),
+        }
+    });
+    println!(
+        "bench {name:<40} {:>12.3} µs/iter ({} samples){}",
+        mean.as_secs_f64() * 1e6,
+        bencher.samples.len(),
+        rate.unwrap_or_default(),
+    );
+}
+
+/// Declares a benchmark group function that runs each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness flags cargo passes (e.g. --bench, --test).
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut hits = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| hits += 1));
+        assert!(hits >= WARMUP_ITERS as u64 + 1);
+    }
+
+    #[test]
+    fn groups_measure_batched_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,351 @@
+//! MPMC channels with the crossbeam-channel API surface this workspace
+//! uses: [`bounded`]/[`unbounded`], cloneable [`Sender`]/[`Receiver`],
+//! `send`/`try_send`/`recv`/`try_recv`/`recv_timeout`, and disconnection
+//! semantics (a side with zero handles disconnects the channel).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error for [`Sender::send`] on a disconnected channel; returns the value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error for [`Sender::try_send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded queue is at capacity; returns the value.
+    Full(T),
+    /// All receivers are gone; returns the value.
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+/// Error for [`Receiver::recv`]: channel empty and all senders gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error for [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now.
+    Empty,
+    /// Channel empty and all senders gone.
+    Disconnected,
+}
+
+/// Error for [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the timeout.
+    Timeout,
+    /// Channel empty and all senders gone.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when an item is pushed or the last sender leaves.
+    not_empty: Condvar,
+    /// Signalled when an item is popped or the last receiver leaves.
+    not_full: Condvar,
+    cap: Option<usize>,
+}
+
+/// The sending half; cloneable (multi-producer).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half; cloneable (multi-consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel holding at most `cap` queued items.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap))
+}
+
+/// Creates a channel with no queue limit.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        cap,
+    });
+    (Sender { shared: shared.clone() }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Queues `value`, blocking while a bounded channel is full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.shared.cap {
+                Some(cap) if st.queue.len() >= cap => {
+                    st = self
+                        .shared
+                        .not_full
+                        .wait(st)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Queues `value` without blocking; `Full` when at capacity.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.shared.cap {
+            if st.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next item, blocking until one arrives or every sender
+    /// is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .shared
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Dequeues without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = st.queue.pop_front() {
+            drop(st);
+            self.shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Dequeues, waiting at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _res) = self
+                .shared
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).senders += 1;
+        Sender { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).receivers += 1;
+        Receiver { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!((0..5).map(|_| rx.recv().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bounded_try_send_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn disconnect_on_drop() {
+        let (tx, rx) = bounded::<i32>(1);
+        drop(tx);
+        assert!(matches!(rx.recv(), Err(RecvError)));
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(matches!(tx.send(1), Err(SendError(1))));
+    }
+
+    #[test]
+    fn multi_consumer_drains_everything() {
+        let (tx, rx) = bounded(64);
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<i32> = workers.into_iter().flat_map(|w| w.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = bounded::<i32>(1);
+        let err = rx.recv_timeout(Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, RecvTimeoutError::Timeout));
+    }
+
+    #[test]
+    fn blocking_send_unblocks_on_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2).unwrap());
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        t.join().unwrap();
+    }
+}

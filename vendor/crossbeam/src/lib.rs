@@ -1,0 +1,7 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the `channel` module with MPMC bounded/unbounded channels,
+//! which is all this workspace uses (the serve worker pool's backpressure
+//! queue). Built on `Mutex` + `Condvar`; correctness over raw speed.
+
+pub mod channel;

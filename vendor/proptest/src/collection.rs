@@ -1,0 +1,101 @@
+//! Collection strategies.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy for `Vec`s whose length is drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `Vec<S::Value>` with a length drawn uniformly from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.start
+            + rng.below((self.size.end - self.size.start) as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet`s with a target size drawn from `size`.
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// `HashSet<S::Value>` targeting a size drawn uniformly from `size`.
+/// Duplicate draws are retried a bounded number of times, so a set may
+/// come back smaller than the target when the element space is tiny.
+pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    assert!(size.start < size.end, "empty hash_set size range");
+    HashSetStrategy { element, size }
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.start
+            + rng.below((self.size.end - self.size.start) as u64) as usize;
+        let mut out = HashSet::new();
+        let mut attempts = 0usize;
+        while out.len() < target && attempts < target * 20 + 50 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_length_in_range() {
+        let strat = vec(0u32..100, 2..7);
+        let mut rng = TestRng::new(1);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn hash_set_hits_target_when_space_is_large() {
+        let strat = hash_set("[a-z]{6}", 3..8);
+        let mut rng = TestRng::new(2);
+        for _ in 0..50 {
+            let s = strat.generate(&mut rng);
+            assert!((3..8).contains(&s.len()), "{}", s.len());
+        }
+    }
+
+    #[test]
+    fn hash_set_caps_attempts_on_tiny_spaces() {
+        // Only two possible values; must terminate despite target 5.
+        let strat = hash_set(0u8..2, 5..6);
+        let mut rng = TestRng::new(3);
+        let s = strat.generate(&mut rng);
+        assert!(s.len() <= 2);
+    }
+}

@@ -1,0 +1,311 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements random-input property testing without shrinking: every
+//! `proptest!` test runs its body for `ProptestConfig::cases` random
+//! inputs drawn from the argument strategies. The supported strategy
+//! surface is exactly what this workspace's tests use:
+//!
+//! * integer/float ranges (`0usize..5`, `1i32..=2500`, `-1.0..1.0`)
+//! * `any::<T>()` for primitives
+//! * `&str` regex literals (`"[a-z]{1,8}"`) and
+//!   [`string::string_regex`] for a regex subset (char classes,
+//!   escapes, `{m,n}` repetition, concatenation)
+//! * tuples of strategies, [`collection::vec`], [`collection::hash_set`]
+//! * `prop_map`, `prop_oneof!`, `prop_compose!`, `proptest!`,
+//!   `prop_assert!`, `prop_assert_eq!`
+//!
+//! The base RNG seed comes from `ALEX_TEST_SEED` (decimal or `0x` hex)
+//! so CI failures are reproducible; each test function decorrelates the
+//! seed with a hash of its own name, and the failing seed and case index
+//! are printed when a property panics.
+
+pub mod collection;
+pub mod string;
+
+mod rng;
+mod strategy;
+
+pub use rng::TestRng;
+pub use strategy::{
+    any, AnyStrategy, Arbitrary, BoxedStrategy, FnStrategy, Map, RegexStrategy, Union,
+};
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Strategy: a recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::new(self)
+    }
+}
+
+/// Reads the base seed from `ALEX_TEST_SEED` (decimal or 0x-prefixed
+/// hex); defaults to a fixed constant so runs are reproducible.
+pub fn base_seed() -> u64 {
+    match std::env::var("ALEX_TEST_SEED") {
+        Ok(text) => {
+            let text = text.trim();
+            let parsed = if let Some(hex) = text.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                text.parse().ok()
+            };
+            match parsed {
+                Some(seed) => seed,
+                None => panic!("ALEX_TEST_SEED {text:?} is not a u64 (decimal or 0x hex)"),
+            }
+        }
+        Err(_) => 0xA1EC_5EED_0000_0001,
+    }
+}
+
+/// Derives the per-test seed: the base seed mixed with the test's name.
+pub fn test_seed(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    base_seed() ^ h
+}
+
+/// Prints reproduction info when a property panics (used by `proptest!`).
+pub struct FailureReporter<'a> {
+    /// Test function name.
+    pub test: &'a str,
+    /// Seed the failing run started from.
+    pub seed: u64,
+    /// 0-based case index currently executing.
+    pub case: u32,
+}
+
+impl Drop for FailureReporter<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest failure in {}: case {} of base seed {:#x} \
+                 (set ALEX_TEST_SEED={:#x} to reproduce)",
+                self.test, self.case, self.seed, self.seed,
+            );
+        }
+    }
+}
+
+/// Everything a proptest file usually imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, ProptestConfig, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Asserts a property holds; plain `assert!` semantics (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts two values are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniformly picks one of several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Defines a function returning a composed strategy:
+/// `prop_compose! { fn name()(a in s1, b in s2) -> T { body } }`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($_unused:tt)*)($($arg:ident in $strat:expr),* $(,)?) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name() -> impl $crate::Strategy<Value = $ret> {
+            $crate::FnStrategy::new(move |rng: &mut $crate::TestRng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// Binds `name in strategy` / `name: Type` parameters inside `proptest!`.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Expands the test functions of a `proptest!` block.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::test_seed(stringify!($name));
+            let mut rng = $crate::TestRng::new(seed);
+            for case in 0..config.cases {
+                let _reporter = $crate::FailureReporter {
+                    test: stringify!($name),
+                    seed: $crate::base_seed(),
+                    case,
+                };
+                $crate::__proptest_bind!(rng; $($params)*);
+                // Bodies may `return Ok(())` to skip a case, like
+                // upstream proptest's Result-returning test closures.
+                let case_result: ::std::result::Result<(), ::std::string::String> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(message) = case_result {
+                    panic!("property returned Err: {message}");
+                }
+            }
+        }
+        $crate::__proptest_fns!{$cfg; $($rest)*}
+    };
+}
+
+/// Property-test block: each contained `#[test] fn` runs its body for
+/// many random inputs drawn from its parameter strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{$cfg; $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{$crate::ProptestConfig::default(); $($rest)*}
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_are_stable_per_test_name() {
+        assert_eq!(crate::test_seed("a"), crate::test_seed("a"));
+        assert_ne!(crate::test_seed("a"), crate::test_seed("b"));
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2i64..=2, f in -0.5f64..0.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+            prop_assert!((-0.5..0.5).contains(&f));
+        }
+
+        #[test]
+        fn plain_typed_params_work(b: bool, n: u64) {
+            prop_assert!(b || !b);
+            let _ = n;
+        }
+
+        #[test]
+        fn maps_and_tuples(pair in (1u8..5, 10u8..20).prop_map(|(a, b)| (b, a))) {
+            prop_assert!(pair.0 >= 10 && pair.1 < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_cases_is_respected(_x in 0u32..10) {
+            // Just exercising the config arm of the macro.
+        }
+    }
+
+    prop_compose! {
+        fn arb_point()(x in 0i32..100, y in 0i32..100) -> (i32, i32) {
+            (x, y)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategy(p in arb_point()) {
+            prop_assert!((0..100).contains(&p.0) && (0..100).contains(&p.1));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_unions(v in prop_oneof![
+            (0u32..10).prop_map(|n| n as i64),
+            (100u32..110).prop_map(|n| n as i64),
+        ]) {
+            prop_assert!((0..10).contains(&v) || (100..110).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Strategy combinators and primitive strategies.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::{Strategy, TestRng};
+
+pub use crate::string::RegexStrategy;
+
+/// Strategy adapter applying a function to every generated value.
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased strategy, as produced by [`Strategy::boxed`].
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn DynStrategy<V>>,
+}
+
+impl<V> BoxedStrategy<V> {
+    /// Boxes `strategy`.
+    pub fn new<S>(strategy: S) -> Self
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        Self { inner: Box::new(strategy) }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice between several strategies (backs `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over `arms`; panics if empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Strategy wrapping a generation closure (backs `prop_compose!`).
+pub struct FnStrategy<F> {
+    f: F,
+}
+
+impl<F> FnStrategy<F> {
+    /// Wraps `f` as a strategy.
+    pub fn new(f: F) -> Self {
+        Self { f }
+    }
+}
+
+impl<V, F> Strategy for FnStrategy<F>
+where
+    F: Fn(&mut TestRng) -> V,
+{
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.f)(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy for the full value space of `T` (see [`any`]).
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// The canonical strategy generating any `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values spanning many magnitudes; no NaN/inf (callers
+        // here feed similarity metrics that require finite input).
+        let mag = rng.unit_f64() * 2.0 - 1.0;
+        let exp = rng.below(41) as i32 - 20;
+        mag * 10f64.powi(exp)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Uniform integer in `[lo, hi]` (inclusive), computed in i128 so every
+/// primitive integer type shares one code path.
+fn draw_int(rng: &mut TestRng, lo: i128, hi: i128) -> i128 {
+    debug_assert!(lo <= hi);
+    let span = (hi - lo) as u128;
+    if span >= u64::MAX as u128 {
+        // 2^64 possible values: a raw draw covers the space exactly.
+        lo + rng.next_u64() as i128
+    } else {
+        lo + rng.below(span as u64 + 1) as i128
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                draw_int(rng, self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                draw_int(rng, *self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let v = self.start + rng.unit_f64() as $t * (self.end - self.start);
+                // Rounding can land exactly on the excluded endpoint.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                self.start() + rng.unit_f64() as $t * (self.end() - self.start())
+            }
+        }
+    )*};
+}
+
+float_strategies!(f32, f64);
+
+/// String literals are regex strategies, like upstream proptest:
+/// `"[a-z]{1,8}"` generates matching strings.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::compile(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e:?}"))
+            .sample(rng)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_width_inclusive_ranges_do_not_overflow() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..64 {
+            let _: u64 = (0u64..=u64::MAX).generate(&mut rng);
+            let _: i64 = (i64::MIN..=i64::MAX).generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn str_literals_generate_matching_strings() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..64 {
+            let s = "[a-z]{2}".generate(&mut rng);
+            assert_eq!(s.len(), 2);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}

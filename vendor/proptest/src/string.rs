@@ -1,0 +1,260 @@
+//! String strategies from a regex subset.
+//!
+//! Supported syntax — everything the workspace's patterns need:
+//! literal characters, escapes (`\t`, `\n`, `\r`, `\\`, `\"`, `\-`,
+//! `\]`, `\.`), character classes with ranges (`[ -~éλ\t\n"\\]`), `.`
+//! (printable ASCII), and the quantifiers `{m}`, `{m,n}`, `{m,}`, `*`,
+//! `+`, `?` (unbounded repetition capped at +8).
+
+use std::iter::Peekable;
+use std::str::Chars;
+
+use crate::{Strategy, TestRng};
+
+/// Error from compiling an unsupported or malformed pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Inclusive char ranges; a single char is a one-char range.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Element {
+    node: Node,
+    min: usize,
+    max: usize,
+}
+
+/// Strategy generating strings that match a compiled pattern.
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    elements: Vec<Element>,
+}
+
+/// Compiles `pattern` into a string strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+    compile(pattern)
+}
+
+pub(crate) fn compile(pattern: &str) -> Result<RegexStrategy, Error> {
+    let mut chars = pattern.chars().peekable();
+    let mut elements = Vec::new();
+    while let Some(c) = chars.next() {
+        let node = match c {
+            '[' => Node::Class(parse_class(&mut chars)?),
+            '\\' => Node::Literal(parse_escape(&mut chars)?),
+            '.' => Node::Class(vec![(' ', '~')]),
+            '(' | ')' | '|' | '^' | '$' => {
+                return Err(Error(format!("unsupported regex syntax {c:?} in {pattern:?}")));
+            }
+            other => Node::Literal(other),
+        };
+        let (min, max) = parse_quantifier(&mut chars)?;
+        elements.push(Element { node, min, max });
+    }
+    Ok(RegexStrategy { elements })
+}
+
+fn parse_escape(chars: &mut Peekable<Chars>) -> Result<char, Error> {
+    match chars.next() {
+        Some('t') => Ok('\t'),
+        Some('n') => Ok('\n'),
+        Some('r') => Ok('\r'),
+        Some(c @ ('\\' | '"' | '-' | ']' | '[' | '.' | '{' | '}' | '*' | '+' | '?' | '/')) => Ok(c),
+        Some(other) => Err(Error(format!("unsupported escape \\{other}"))),
+        None => Err(Error("pattern ends with a bare backslash".into())),
+    }
+}
+
+fn parse_class(chars: &mut Peekable<Chars>) -> Result<Vec<(char, char)>, Error> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = match chars.next() {
+            Some(']') if !ranges.is_empty() => return Ok(ranges),
+            Some(']') => ']', // first position: literal ]
+            Some('\\') => parse_escape(chars)?,
+            Some(c) => c,
+            None => return Err(Error("unterminated character class".into())),
+        };
+        // `a-z` range unless the '-' is last (then it is a literal).
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next(); // the '-'
+            match lookahead.peek() {
+                Some(']') | None => ranges.push((c, c)),
+                Some(_) => {
+                    chars.next(); // consume '-'
+                    let hi = match chars.next() {
+                        Some('\\') => parse_escape(chars)?,
+                        Some(hi) => hi,
+                        None => return Err(Error("unterminated character class".into())),
+                    };
+                    if hi < c {
+                        return Err(Error(format!("inverted range {c}-{hi}")));
+                    }
+                    ranges.push((c, hi));
+                }
+            }
+        } else {
+            ranges.push((c, c));
+        }
+    }
+}
+
+fn parse_quantifier(chars: &mut Peekable<Chars>) -> Result<(usize, usize), Error> {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (min, max) = parse_counts(&body)?;
+                    return Ok((min, max));
+                }
+                body.push(c);
+            }
+            Err(Error("unterminated {} quantifier".into()))
+        }
+        Some('*') => {
+            chars.next();
+            Ok((0, 8))
+        }
+        Some('+') => {
+            chars.next();
+            Ok((1, 9))
+        }
+        Some('?') => {
+            chars.next();
+            Ok((0, 1))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+fn parse_counts(body: &str) -> Result<(usize, usize), Error> {
+    let bad = || Error(format!("malformed quantifier {{{body}}}"));
+    match body.split_once(',') {
+        None => {
+            let n: usize = body.trim().parse().map_err(|_| bad())?;
+            Ok((n, n))
+        }
+        Some((lo, hi)) => {
+            let min: usize = lo.trim().parse().map_err(|_| bad())?;
+            let max = if hi.trim().is_empty() {
+                min + 8
+            } else {
+                hi.trim().parse().map_err(|_| bad())?
+            };
+            if max < min {
+                return Err(bad());
+            }
+            Ok((min, max))
+        }
+    }
+}
+
+impl RegexStrategy {
+    pub(crate) fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for elem in &self.elements {
+            let count = elem.min + rng.below((elem.max - elem.min + 1) as u64) as usize;
+            for _ in 0..count {
+                match &elem.node {
+                    Node::Literal(c) => out.push(*c),
+                    Node::Class(ranges) => out.push(pick_from_class(ranges, rng)),
+                }
+            }
+        }
+        out
+    }
+}
+
+fn pick_from_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+    let mut idx = rng.below(total);
+    for (lo, hi) in ranges {
+        let size = *hi as u64 - *lo as u64 + 1;
+        if idx < size {
+            // Surrogate gap: ranges here are either pure ASCII or single
+            // chars, so lo+idx is always a valid scalar value.
+            return char::from_u32(*lo as u32 + idx as u32)
+                .expect("class range stays within valid scalar values");
+        }
+        idx -= size;
+    }
+    unreachable!("class pick out of bounds")
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples(pattern: &str, n: usize) -> Vec<String> {
+        let strat = string_regex(pattern).unwrap();
+        let mut rng = TestRng::new(42);
+        (0..n).map(|_| strat.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn counted_class_repetition() {
+        for s in samples("[a-z]{1,8}", 200) {
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn concatenation_with_literal() {
+        for s in samples("[a-z]{4,9} [a-z]{4,9}", 100) {
+            let (a, b) = s.split_once(' ').expect("one space");
+            assert!((4..=9).contains(&a.len()), "{s:?}");
+            assert!((4..=9).contains(&b.len()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_unicode() {
+        // The exact pattern used by the rdf round-trip tests.
+        let allowed = |c: char| {
+            (' '..='~').contains(&c)
+                || c == 'é'
+                || c == 'λ'
+                || c == '\t'
+                || c == '\n'
+                || c == '"'
+                || c == '\\'
+        };
+        for s in samples("[ -~éλ\\t\\n\"\\\\]{0,24}", 300) {
+            assert!(s.chars().count() <= 24);
+            assert!(s.chars().all(allowed), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn zero_width_and_exact_counts() {
+        assert_eq!(samples("[a-z]{0}", 5), vec![""; 5]);
+        for s in samples("x{3}", 5) {
+            assert_eq!(s, "xxx");
+        }
+    }
+
+    #[test]
+    fn malformed_patterns_error() {
+        assert!(string_regex("[a-z").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+        assert!(string_regex("(a|b)").is_err());
+        assert!(string_regex("a\\q").is_err());
+    }
+}

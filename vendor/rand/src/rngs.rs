@@ -1,0 +1,66 @@
+//! Concrete RNGs: xoshiro256++ behind the `StdRng`/`SmallRng` names.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seedable RNG (xoshiro256++).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    fn from_words(s: [u64; 4]) -> Self {
+        // xoshiro256++ must not start from the all-zero state.
+        if s == [0, 0, 0, 0] {
+            Self { s: [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, 1] }
+        } else {
+            Self { s }
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = (self.s[0].wrapping_add(self.s[3]))
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut words = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(chunk);
+            words[i] = u64::from_le_bytes(bytes);
+        }
+        Self::from_words(words)
+    }
+}
+
+/// Small fast RNG; identical to [`StdRng`] in this stand-in.
+pub type SmallRng = StdRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        let vals: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert!(vals.iter().any(|&v| v != 0));
+        assert_ne!(vals[0], vals[1]);
+    }
+}

@@ -1,0 +1,255 @@
+//! The JSON-like value tree shared by `serde` and `serde_json`.
+
+use std::fmt::Write as _;
+
+/// A JSON number, kept in its widest faithful representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Number {
+    /// Widens to f64 (lossy for giant integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(u) => u as f64,
+            Number::I64(i) => i as f64,
+            Number::F64(f) => f,
+        }
+    }
+}
+
+/// A JSON value tree. Objects preserve insertion order so serialized
+/// output is stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number
+    Number(Number),
+    /// A string
+    String(String),
+    /// An array
+    Array(Vec<Value>),
+    /// An object as ordered key/value pairs
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name of the value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object's pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The array's items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as f64, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as u64, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(u)) => Some(*u),
+            Value::Number(Number::I64(i)) if *i >= 0 => Some(*i as u64),
+            Value::Number(Number::F64(f)) if f.fract() == 0.0 && *f >= 0.0 => Some(*f as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Renders as JSON text; `pretty` adds two-space indentation.
+    pub fn to_json_string(&self, pretty: bool) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out, pretty, 0);
+        out
+    }
+
+    fn write_json(&self, out: &mut String, pretty: bool, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => write_number(out, *n),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, pretty, depth + 1);
+                    item.write_json(out, pretty, depth + 1);
+                }
+                newline_indent(out, pretty, depth);
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, pretty, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write_json(out, pretty, depth + 1);
+                }
+                newline_indent(out, pretty, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, pretty: bool, depth: usize) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Number::I64(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Number::F64(f) => {
+            if f.is_finite() {
+                // `{}` on f64 is the shortest representation that parses
+                // back exactly, which keeps snapshot round-trips lossless.
+                let _ = write!(out, "{f}");
+            } else {
+                out.push_str("null"); // serde_json's behaviour for NaN/inf
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(Number::U64(1))),
+            ("b".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            ("c".into(), Value::String("x\"y\n".into())),
+        ]);
+        assert_eq!(v.to_json_string(false), r#"{"a":1,"b":[true,null],"c":"x\"y\n"}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Value::Object(vec![("k".into(), Value::Array(vec![Value::Number(Number::I64(-3))]))]);
+        let text = v.to_json_string(true);
+        assert!(text.contains("\n  \"k\": [\n    -3\n  ]\n"), "got: {text}");
+    }
+
+    #[test]
+    fn float_shortest_roundtrip() {
+        let mut s = String::new();
+        write_number(&mut s, Number::F64(0.3));
+        assert_eq!(s, "0.3");
+        assert_eq!(s.parse::<f64>().unwrap(), 0.3);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::Object(vec![("n".into(), Value::Number(Number::U64(7)))]);
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(7.0));
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.kind(), "object");
+    }
+}

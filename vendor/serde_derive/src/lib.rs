@@ -1,0 +1,209 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Parses the token stream by hand (no `syn`/`quote` — the build
+//! environment has no network access) and supports exactly what this
+//! workspace derives on: non-generic structs with named fields, the
+//! container attribute `#[serde(default)]`, and the field attribute
+//! `#[serde(skip)]`. Anything else panics with a clear message at
+//! compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct StructDef {
+    name: String,
+    container_default: bool,
+    fields: Vec<Field>,
+}
+
+/// Consumes leading `#[...]` attributes; returns whether a `#[serde(...)]`
+/// attribute among them contains the ident `flag`.
+fn eat_attrs<I: Iterator<Item = TokenTree>>(iter: &mut Peekable<I>, flag: &str) -> bool {
+    let mut found = false;
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        found |= serde_attr_contains(&g.stream(), flag);
+                    }
+                    other => panic!("expected [...] after '#', got {other:?}"),
+                }
+            }
+            _ => return found,
+        }
+    }
+}
+
+fn serde_attr_contains(attr: &TokenStream, flag: &str) -> bool {
+    let mut iter = attr.clone().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(tt, TokenTree::Ident(id) if id.to_string() == flag)),
+        _ => false,
+    }
+}
+
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut iter = input.into_iter().peekable();
+    let container_default = eat_attrs(&mut iter, "default");
+
+    // Skip visibility / modifiers until the `struct` keyword.
+    loop {
+        match iter.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(_)) | Some(TokenTree::Group(_)) => continue,
+            other => panic!("derive supports plain structs only, got {other:?}"),
+        }
+    }
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct name, got {other:?}"),
+    };
+
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("derive(Serialize/Deserialize) stand-in does not support generics")
+        }
+        other => panic!("expected named-field struct body, got {other:?}"),
+    };
+
+    let mut fields = Vec::new();
+    let mut it = body.stream().into_iter().peekable();
+    loop {
+        let skip = eat_attrs(&mut it, "skip");
+        // Visibility: `pub` optionally followed by `(crate)` etc.
+        if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            it.next();
+            if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                it.next();
+            }
+        }
+        let Some(tt) = it.next() else { break };
+        let fname = match tt {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field {fname}, got {other:?}"),
+        }
+        // Skip the type: consume until a top-level (angle-depth 0) comma.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = it.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    it.next();
+                    break;
+                }
+                _ => {}
+            }
+            it.next();
+        }
+        fields.push(Field { name: fname, skip });
+    }
+
+    StructDef { name, container_default, fields }
+}
+
+/// Derives the stand-in `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let mut pushes = String::new();
+    for f in def.fields.iter().filter(|f| !f.skip) {
+        pushes.push_str(&format!(
+            "fields.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+            n = f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{
+            fn to_value(&self) -> ::serde::Value {{
+                let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =
+                    ::std::vec::Vec::new();
+                {pushes}
+                ::serde::Value::Object(fields)
+            }}
+        }}",
+        name = def.name,
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `serde::Deserialize` (value-tree reading).
+///
+/// With the container attribute `#[serde(default)]`, missing fields keep
+/// the struct's `Default` values; otherwise missing non-skip fields are an
+/// error. `#[serde(skip)]` fields always take their type's default.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let name = &def.name;
+    let body = if def.container_default {
+        let mut sets = String::new();
+        for f in def.fields.iter().filter(|f| !f.skip) {
+            sets.push_str(&format!(
+                "if let Some(val) = v.get(\"{n}\") {{
+                    out.{n} = ::serde::Deserialize::from_value(val)
+                        .map_err(|e| e.context(\"field {n}\"))?;
+                }}\n",
+                n = f.name
+            ));
+        }
+        format!(
+            "let mut out = <{name} as ::std::default::Default>::default();
+             {sets}
+             ::std::result::Result::Ok(out)"
+        )
+    } else {
+        let mut inits = String::new();
+        for f in &def.fields {
+            if f.skip {
+                inits.push_str(&format!("{n}: ::std::default::Default::default(),\n", n = f.name));
+            } else {
+                inits.push_str(&format!(
+                    "{n}: match v.get(\"{n}\") {{
+                        Some(val) => ::serde::Deserialize::from_value(val)
+                            .map_err(|e| e.context(\"field {n}\"))?,
+                        None => return ::std::result::Result::Err(
+                            ::serde::Error::new(\"missing field {n}\")),
+                    }},\n",
+                    n = f.name
+                ));
+            }
+        }
+        format!("::std::result::Result::Ok({name} {{ {inits} }})")
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{
+            fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                if v.as_object().is_none() {{
+                    return ::std::result::Result::Err(::serde::Error::new(
+                        format!(\"expected object for {name}, got {{}}\", v.kind())));
+                }}
+                {body}
+            }}
+        }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

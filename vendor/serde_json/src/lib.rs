@@ -1,0 +1,399 @@
+//! Offline stand-in for `serde_json`: renders and parses JSON text over
+//! the `serde` stand-in's [`Value`] tree.
+//!
+//! Parse errors carry the 1-based line and column of the offending input,
+//! matching the upstream crate's `Display` style
+//! (`... at line L column C`).
+
+use std::fmt;
+
+pub use serde::{Number, Value};
+
+/// A JSON error: message plus (for parse errors) line and column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    line: usize,
+    column: usize,
+}
+
+impl Error {
+    fn parse(msg: impl Into<String>, line: usize, column: usize) -> Self {
+        Self { msg: msg.into(), line, column }
+    }
+
+    fn data(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into(), line: 0, column: 0 }
+    }
+
+    /// 1-based line of a parse error (0 for data-model errors).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of a parse error (0 for data-model errors).
+    pub fn column(&self) -> usize {
+        self.column
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{} at line {} column {}", self.msg, self.line, self.column)
+        } else {
+            write!(f, "{}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_string(false))
+}
+
+/// Serializes to pretty (two-space indented) JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_string(true))
+}
+
+/// Renders a `T` as a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds a `T` from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(|e| Error::data(e.to_string()))
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value_str(text)?;
+    T::from_value(&value).map_err(|e| Error::data(e.to_string()))
+}
+
+/// Parses JSON text into a raw [`Value`].
+pub fn parse_value_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, line: 1, column: 1 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::parse(msg, self.line, self.column)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        match self.peek() {
+            Some(got) if got == b => {
+                self.bump();
+                Ok(())
+            }
+            Some(got) => Err(self.err(format!("expected '{}', found '{}'", b as char, got as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        for expected in word.bytes() {
+            match self.bump() {
+                Some(b) if b == expected => {}
+                _ => return Err(self.err(format!("invalid literal, expected '{word}'"))),
+            }
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input, expected a value")),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => {
+                self.bump();
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.bump();
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(Value::Array(items)),
+                        Some(b) => {
+                            return Err(
+                                self.err(format!("expected ',' or ']', found '{}'", b as char))
+                            )
+                        }
+                        None => return Err(self.err("unexpected end of input in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.bump();
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.value(depth + 1)?;
+                    pairs.push((key, val));
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(Value::Object(pairs)),
+                        Some(b) => {
+                            return Err(
+                                self.err(format!("expected ',' or '}}', found '{}'", b as char))
+                            )
+                        }
+                        None => return Err(self.err("unexpected end of input in object")),
+                    }
+                }
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.err(format!("unexpected character '{}'", b as char))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.bump();
+        }
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.err("invalid number"));
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if float {
+            text.parse::<f64>()
+                .map(|f| Value::Number(Number::F64(f)))
+                .map_err(|_| self.err(format!("invalid number '{text}'")))
+        } else if negative {
+            text.parse::<i64>()
+                .map(|i| Value::Number(Number::I64(i)))
+                .map_err(|_| self.err(format!("integer '{text}' out of range")))
+        } else {
+            text.parse::<u64>()
+                .map(|u| Value::Number(Number::U64(u)))
+                .map_err(|_| self.err(format!("integer '{text}' out of range")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut utf8 = Vec::new();
+        loop {
+            // Accumulate raw (possibly multi-byte) content between escapes.
+            let chunk_start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.bump();
+            }
+            utf8.extend_from_slice(&self.bytes[chunk_start..self.pos]);
+            match self.bump() {
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    flush_utf8(&mut out, &mut utf8, self)?;
+                    match self.bump() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c).ok_or_else(|| self.err("invalid codepoint"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("control character in string must be escaped"))
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+        flush_utf8(&mut out, &mut utf8, self)?;
+        Ok(out)
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err("unexpected end in \\u escape"))?;
+            let d = (b as char).to_digit(16).ok_or_else(|| self.err("invalid hex digit"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+}
+
+fn flush_utf8(out: &mut String, utf8: &mut Vec<u8>, p: &Parser<'_>) -> Result<(), Error> {
+    if !utf8.is_empty() {
+        out.push_str(
+            std::str::from_utf8(utf8).map_err(|_| p.err("invalid UTF-8 in string"))?,
+        );
+        utf8.clear();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse_value_str("null").unwrap(), Value::Null);
+        assert_eq!(parse_value_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_value_str(" 42 ").unwrap(), Value::Number(Number::U64(42)));
+        assert_eq!(parse_value_str("-7").unwrap(), Value::Number(Number::I64(-7)));
+        assert_eq!(parse_value_str("0.25").unwrap(), Value::Number(Number::F64(0.25)));
+        assert_eq!(parse_value_str("1e3").unwrap(), Value::Number(Number::F64(1000.0)));
+        assert_eq!(parse_value_str("\"a\\nb\"").unwrap(), Value::String("a\nb".into()));
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v = parse_value_str(r#"{"a": [1, {"b": null}], "c": "λé"}"#).unwrap();
+        assert_eq!(v.get("c").unwrap().as_str(), Some("λé"));
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[1].get("b"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogates() {
+        assert_eq!(parse_value_str(r#""é""#).unwrap(), Value::String("é".into()));
+        assert_eq!(
+            parse_value_str(r#""😀""#).unwrap(),
+            Value::String("😀".into())
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = parse_value_str("{\n  \"a\": nope\n}").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("line 2"), "got: {err}");
+
+        let err = parse_value_str("not json").unwrap_err();
+        assert!(err.line() >= 1);
+        assert!(err.to_string().contains("line 1 column"), "got: {err}");
+    }
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let v = Value::Object(vec![
+            ("s".into(), Value::String("x \"q\" \\ \n λ".into())),
+            ("n".into(), Value::Number(Number::F64(0.30000000000000004))),
+            ("i".into(), Value::Number(Number::I64(-9007199254740993))),
+            ("u".into(), Value::Number(Number::U64(u64::MAX))),
+            ("arr".into(), Value::Array(vec![Value::Bool(false), Value::Null])),
+        ]);
+        for pretty in [false, true] {
+            let text = v.to_json_string(pretty);
+            assert_eq!(parse_value_str(&text).unwrap(), v, "pretty={pretty}: {text}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value_str("{\"a\":}").is_err());
+        assert!(parse_value_str("[1,]").is_err());
+        assert!(parse_value_str("\"unterminated").is_err());
+        assert!(parse_value_str("1 2").is_err());
+        assert!(parse_value_str("").is_err());
+    }
+}
