@@ -27,9 +27,15 @@ fn bench_episode(c: &mut Criterion) {
     let p = pair();
     let subjects: Vec<_> = p.left.subjects().collect();
     let cfg = AlexConfig::default();
-    let space =
-        ExplorationSpace::build(&p.left, &p.right, &subjects, &cfg.sim, cfg.theta, DEFAULT_MAX_BLOCK);
-    let mut rng = StdRng::seed_from_u64(5);
+    let space = ExplorationSpace::build(
+        &p.left,
+        &p.right,
+        &subjects,
+        &cfg.sim,
+        cfg.theta,
+        DEFAULT_MAX_BLOCK,
+    );
+    let mut rng = StdRng::seed_from_u64(alex_rdf::test_seed(5));
     let initial = degrade(&p.truth, 0.8, 0.3, &mut rng);
     let oracle = ExactOracle::new(p.truth.clone());
 
@@ -54,9 +60,20 @@ fn bench_process_feedback(c: &mut Criterion) {
     let p = pair();
     let subjects: Vec<_> = p.left.subjects().collect();
     let cfg = AlexConfig::default();
-    let space =
-        ExplorationSpace::build(&p.left, &p.right, &subjects, &cfg.sim, cfg.theta, DEFAULT_MAX_BLOCK);
-    let link = p.truth.iter().find(|l| space.contains(**l)).copied().unwrap();
+    let space = ExplorationSpace::build(
+        &p.left,
+        &p.right,
+        &subjects,
+        &cfg.sim,
+        cfg.theta,
+        DEFAULT_MAX_BLOCK,
+    );
+    let link = p
+        .truth
+        .iter()
+        .find(|l| space.contains(**l))
+        .copied()
+        .unwrap();
     c.bench_function("process_positive_feedback", |b| {
         b.iter_batched(
             || PartitionEngine::new(space.clone(), [link], cfg.clone(), 9),

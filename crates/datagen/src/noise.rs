@@ -47,7 +47,11 @@ pub fn abbreviate(s: &str) -> String {
     let mut tokens = s.split_whitespace();
     match (tokens.next(), tokens.clone().next()) {
         (Some(first), Some(_)) => {
-            let initial = first.chars().next().map(|c| format!("{c}.")).unwrap_or_default();
+            let initial = first
+                .chars()
+                .next()
+                .map(|c| format!("{c}."))
+                .unwrap_or_default();
             let rest: Vec<&str> = tokens.collect();
             format!("{initial} {}", rest.join(" "))
         }
@@ -85,16 +89,28 @@ pub struct StringNoise {
 
 impl StringNoise {
     /// No noise at all.
-    pub const CLEAN: StringNoise =
-        StringNoise { typo: 0.0, reorder: 0.0, abbreviate: 0.0, case_flip: 0.0 };
+    pub const CLEAN: StringNoise = StringNoise {
+        typo: 0.0,
+        reorder: 0.0,
+        abbreviate: 0.0,
+        case_flip: 0.0,
+    };
 
     /// Mild noise typical of well-curated KBs.
-    pub const MILD: StringNoise =
-        StringNoise { typo: 0.10, reorder: 0.05, abbreviate: 0.03, case_flip: 0.05 };
+    pub const MILD: StringNoise = StringNoise {
+        typo: 0.10,
+        reorder: 0.05,
+        abbreviate: 0.03,
+        case_flip: 0.05,
+    };
 
     /// Heavy noise typical of extracted / crowd-sourced KBs.
-    pub const HEAVY: StringNoise =
-        StringNoise { typo: 0.30, reorder: 0.15, abbreviate: 0.10, case_flip: 0.10 };
+    pub const HEAVY: StringNoise = StringNoise {
+        typo: 0.30,
+        reorder: 0.15,
+        abbreviate: 0.10,
+        case_flip: 0.10,
+    };
 
     /// Applies the configured noise to `s`.
     pub fn apply(&self, s: &str, rng: &mut StdRng) -> String {
@@ -121,7 +137,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn rng() -> StdRng {
-        StdRng::seed_from_u64(7)
+        StdRng::seed_from_u64(alex_rdf::test_seed(7))
     }
 
     #[test]
@@ -130,7 +146,10 @@ mod tests {
         for _ in 0..100 {
             let t = typo("lebron james", &mut r);
             let dist = alex_sim::string::levenshtein("lebron james", &t);
-            assert!(dist <= 2, "one typo is at most 2 edits (insert counts once): {t}");
+            assert!(
+                dist <= 2,
+                "one typo is at most 2 edits (insert counts once): {t}"
+            );
         }
     }
 
@@ -166,7 +185,10 @@ mod tests {
     #[test]
     fn clean_noise_is_identity() {
         let mut r = rng();
-        assert_eq!(StringNoise::CLEAN.apply("LeBron James", &mut r), "LeBron James");
+        assert_eq!(
+            StringNoise::CLEAN.apply("LeBron James", &mut r),
+            "LeBron James"
+        );
     }
 
     #[test]
@@ -183,8 +205,8 @@ mod tests {
 
     #[test]
     fn noise_is_deterministic_under_seed() {
-        let mut r1 = StdRng::seed_from_u64(99);
-        let mut r2 = StdRng::seed_from_u64(99);
+        let mut r1 = StdRng::seed_from_u64(alex_rdf::test_seed(99));
+        let mut r2 = StdRng::seed_from_u64(alex_rdf::test_seed(99));
         for _ in 0..50 {
             assert_eq!(
                 StringNoise::HEAVY.apply("Kobe Bryant", &mut r1),

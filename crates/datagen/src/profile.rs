@@ -4,7 +4,6 @@
 
 use crate::noise::StringNoise;
 
-
 /// The kind of real-world individual an entity describes.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum EntityKind {
@@ -197,7 +196,12 @@ impl DatasetProfile {
             name: "OpenCyc".into(),
             namespace: "http://opencyc.example.org".into(),
             vocab: Vocabulary::concept_style("http://opencyc.example.org"),
-            noise: StringNoise { typo: 0.05, reorder: 0.02, abbreviate: 0.02, case_flip: 0.03 },
+            noise: StringNoise {
+                typo: 0.05,
+                reorder: 0.02,
+                abbreviate: 0.02,
+                case_flip: 0.03,
+            },
             missing_attr: 0.30,
             year_jitter: 0.02,
             numbers_as_strings: false,
@@ -210,7 +214,12 @@ impl DatasetProfile {
             name: "NYTimes".into(),
             namespace: "http://nytimes.example.org".into(),
             vocab: Vocabulary::elements_style("http://nytimes.example.org"),
-            noise: StringNoise { typo: 0.06, reorder: 0.25, abbreviate: 0.03, case_flip: 0.04 },
+            noise: StringNoise {
+                typo: 0.06,
+                reorder: 0.25,
+                abbreviate: 0.03,
+                case_flip: 0.04,
+            },
             missing_attr: 0.25,
             year_jitter: 0.08,
             numbers_as_strings: true,
@@ -223,7 +232,12 @@ impl DatasetProfile {
             name: "Drugbank".into(),
             namespace: "http://drugbank.example.org".into(),
             vocab: Vocabulary::dbpedia_style("http://drugbank.example.org"),
-            noise: StringNoise { typo: 0.08, reorder: 0.0, abbreviate: 0.0, case_flip: 0.10 },
+            noise: StringNoise {
+                typo: 0.08,
+                reorder: 0.0,
+                abbreviate: 0.0,
+                case_flip: 0.10,
+            },
             missing_attr: 0.10,
             year_jitter: 0.02,
             numbers_as_strings: false,
@@ -236,7 +250,12 @@ impl DatasetProfile {
             name: "Lexvo".into(),
             namespace: "http://lexvo.example.org".into(),
             vocab: Vocabulary::elements_style("http://lexvo.example.org"),
-            noise: StringNoise { typo: 0.18, reorder: 0.05, abbreviate: 0.04, case_flip: 0.10 },
+            noise: StringNoise {
+                typo: 0.18,
+                reorder: 0.05,
+                abbreviate: 0.04,
+                case_flip: 0.10,
+            },
             missing_attr: 0.20,
             year_jitter: 0.10,
             numbers_as_strings: true,
@@ -249,7 +268,12 @@ impl DatasetProfile {
             name: "SemanticWebDogfood".into(),
             namespace: "http://swdf.example.org".into(),
             vocab: Vocabulary::dbpedia_style("http://swdf.example.org"),
-            noise: StringNoise { typo: 0.05, reorder: 0.05, abbreviate: 0.08, case_flip: 0.02 },
+            noise: StringNoise {
+                typo: 0.05,
+                reorder: 0.05,
+                abbreviate: 0.08,
+                case_flip: 0.02,
+            },
             missing_attr: 0.10,
             year_jitter: 0.02,
             numbers_as_strings: false,

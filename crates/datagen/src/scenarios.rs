@@ -165,10 +165,9 @@ impl PaperPair {
                 (EntityKind::Organization, 0.1),
                 (EntityKind::Person, 0.1),
             ],
-            PaperPair::DbpediaLexvo | PaperPair::OpencycLexvo => vec![
-                (EntityKind::Language, 0.8),
-                (EntityKind::Place, 0.2),
-            ],
+            PaperPair::DbpediaLexvo | PaperPair::OpencycLexvo => {
+                vec![(EntityKind::Language, 0.8), (EntityKind::Place, 0.2)]
+            }
             PaperPair::DbpediaSwdf | PaperPair::OpencycSwdf => vec![
                 (EntityKind::Conference, 0.4),
                 (EntityKind::Organization, 0.4),

@@ -99,16 +99,20 @@ impl Date {
         // Strip an optional timezone suffix.
         let rest = rest
             .strip_suffix('Z')
-            .or_else(|| rest.get(..rest.len().saturating_sub(6)).filter(|_| {
-                let tail = &rest[rest.len().saturating_sub(6)..];
-                tail.len() == 6
-                    && (tail.starts_with('+') || tail.starts_with('-'))
-                    && tail.as_bytes()[3] == b':'
-            }))
+            .or_else(|| {
+                rest.get(..rest.len().saturating_sub(6)).filter(|_| {
+                    let tail = &rest[rest.len().saturating_sub(6)..];
+                    tail.len() == 6
+                        && (tail.starts_with('+') || tail.starts_with('-'))
+                        && tail.as_bytes()[3] == b':'
+                })
+            })
             .unwrap_or(rest);
         let mut parts = rest.splitn(3, '-');
         let (y, m, d) = match (parts.next(), parts.next(), parts.next()) {
-            (Some(y), Some(m), Some(d)) if y.len() >= 4 && m.len() == 2 && d.len() == 2 => (y, m, d),
+            (Some(y), Some(m), Some(d)) if y.len() >= 4 && m.len() == 2 && d.len() == 2 => {
+                (y, m, d)
+            }
             _ => return Err(invalid()),
         };
         let year: i32 = y.parse().map_err(|_| invalid())?;
@@ -147,10 +151,22 @@ mod tests {
     #[test]
     fn day_numbers_are_consecutive_across_boundaries() {
         let pairs = [
-            (Date::new(2019, 12, 31).unwrap(), Date::new(2020, 1, 1).unwrap()),
-            (Date::new(2020, 2, 28).unwrap(), Date::new(2020, 2, 29).unwrap()),
-            (Date::new(2020, 2, 29).unwrap(), Date::new(2020, 3, 1).unwrap()),
-            (Date::new(1999, 12, 31).unwrap(), Date::new(2000, 1, 1).unwrap()),
+            (
+                Date::new(2019, 12, 31).unwrap(),
+                Date::new(2020, 1, 1).unwrap(),
+            ),
+            (
+                Date::new(2020, 2, 28).unwrap(),
+                Date::new(2020, 2, 29).unwrap(),
+            ),
+            (
+                Date::new(2020, 2, 29).unwrap(),
+                Date::new(2020, 3, 1).unwrap(),
+            ),
+            (
+                Date::new(1999, 12, 31).unwrap(),
+                Date::new(2000, 1, 1).unwrap(),
+            ),
         ];
         for (a, b) in pairs {
             assert_eq!(b.day_number() - a.day_number(), 1, "{a} -> {b}");
@@ -179,14 +195,31 @@ mod tests {
 
     #[test]
     fn parse_accepts_timezones() {
-        assert_eq!(Date::parse("2013-06-20Z").unwrap(), Date::new(2013, 6, 20).unwrap());
-        assert_eq!(Date::parse("2013-06-20+05:00").unwrap(), Date::new(2013, 6, 20).unwrap());
-        assert_eq!(Date::parse("2013-06-20-05:00").unwrap(), Date::new(2013, 6, 20).unwrap());
+        assert_eq!(
+            Date::parse("2013-06-20Z").unwrap(),
+            Date::new(2013, 6, 20).unwrap()
+        );
+        assert_eq!(
+            Date::parse("2013-06-20+05:00").unwrap(),
+            Date::new(2013, 6, 20).unwrap()
+        );
+        assert_eq!(
+            Date::parse("2013-06-20-05:00").unwrap(),
+            Date::new(2013, 6, 20).unwrap()
+        );
     }
 
     #[test]
     fn parse_rejects_garbage() {
-        for s in ["", "2013", "2013-6-20", "13-06-20", "2013-06", "20a3-06-20", "2013-02-30"] {
+        for s in [
+            "",
+            "2013",
+            "2013-6-20",
+            "13-06-20",
+            "2013-06",
+            "20a3-06-20",
+            "2013-02-30",
+        ] {
             assert!(Date::parse(s).is_err(), "{s:?} should not parse");
         }
     }

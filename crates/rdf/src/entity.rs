@@ -43,7 +43,10 @@ impl Entity {
 
     /// All objects asserted under `predicate`.
     pub fn values_of(&self, predicate: IriId) -> impl Iterator<Item = &Term> {
-        self.attributes.iter().filter(move |a| a.predicate == predicate).map(|a| &a.object)
+        self.attributes
+            .iter()
+            .filter(move |a| a.predicate == predicate)
+            .map(|a| &a.object)
     }
 
     /// The first object asserted under `predicate`, if any.
@@ -82,9 +85,18 @@ mod tests {
         let e = Entity::new(
             iri(&i, "e"),
             vec![
-                Attribute { predicate: p1, object: Literal::Integer(1).into() },
-                Attribute { predicate: p2, object: Literal::Integer(2).into() },
-                Attribute { predicate: p1, object: Literal::Integer(3).into() },
+                Attribute {
+                    predicate: p1,
+                    object: Literal::Integer(1).into(),
+                },
+                Attribute {
+                    predicate: p2,
+                    object: Literal::Integer(2).into(),
+                },
+                Attribute {
+                    predicate: p1,
+                    object: Literal::Integer(3).into(),
+                },
             ],
         );
         assert_eq!(e.arity(), 3);

@@ -5,11 +5,16 @@ use std::fmt;
 /// Errors produced while parsing, validating, or storing RDF data.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RdfError {
-    /// An N-Triples line could not be parsed. Carries the 1-based line
-    /// number and a description of what went wrong.
+    /// An N-Triples or Turtle document could not be parsed. Carries the
+    /// 1-based position of the failure, the offending token, and a
+    /// description of what went wrong.
     Parse {
         /// 1-based line number of the offending input line.
         line: usize,
+        /// 1-based column (in characters) where parsing failed.
+        column: usize,
+        /// The token at the failure position; empty at end of input.
+        token: String,
         /// Human-readable description of the syntax problem.
         message: String,
     },
@@ -36,14 +41,28 @@ pub enum RdfError {
 impl fmt::Display for RdfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RdfError::Parse { line, message } => {
-                write!(f, "N-Triples parse error at line {line}: {message}")
+            RdfError::Parse {
+                line,
+                column,
+                token,
+                message,
+            } => {
+                write!(f, "parse error at line {line}, column {column}")?;
+                if token.is_empty() {
+                    write!(f, " (end of input)")?;
+                } else {
+                    write!(f, " near {token:?}")?;
+                }
+                write!(f, ": {message}")
             }
             RdfError::InvalidDate { year, month, day } => {
                 write!(f, "invalid calendar date {year:04}-{month:02}-{day:02}")
             }
             RdfError::InvalidLexical { datatype, lexical } => {
-                write!(f, "lexical form {lexical:?} is not valid for datatype <{datatype}>")
+                write!(
+                    f,
+                    "lexical form {lexical:?} is not valid for datatype <{datatype}>"
+                )
             }
             RdfError::UnknownId(id) => write!(f, "unknown interned id {id}"),
         }
@@ -52,17 +71,48 @@ impl fmt::Display for RdfError {
 
 impl std::error::Error for RdfError {}
 
+/// Extracts the offending token at a failure position: the first
+/// whitespace-delimited chunk of `rest`, capped at 20 characters.
+pub(crate) fn offending_token(rest: &str) -> String {
+    let chunk = rest.split_whitespace().next().unwrap_or("");
+    if chunk.chars().count() > 20 {
+        let cut: String = chunk.chars().take(20).collect();
+        format!("{cut}…")
+    } else {
+        chunk.to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn display_is_informative() {
-        let e = RdfError::Parse { line: 7, message: "expected '.'".into() };
+        let e = RdfError::Parse {
+            line: 7,
+            column: 12,
+            token: "BROKEN".into(),
+            message: "expected '.'".into(),
+        };
         assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("column 12"));
+        assert!(e.to_string().contains("\"BROKEN\""));
         assert!(e.to_string().contains("expected '.'"));
 
-        let e = RdfError::InvalidDate { year: 2020, month: 2, day: 30 };
+        let e = RdfError::Parse {
+            line: 2,
+            column: 30,
+            token: String::new(),
+            message: "unterminated IRI".into(),
+        };
+        assert!(e.to_string().contains("end of input"));
+
+        let e = RdfError::InvalidDate {
+            year: 2020,
+            month: 2,
+            day: 30,
+        };
         assert_eq!(e.to_string(), "invalid calendar date 2020-02-30");
 
         let e = RdfError::InvalidLexical {
@@ -71,5 +121,16 @@ mod tests {
         };
         assert!(e.to_string().contains("abc"));
         assert!(RdfError::UnknownId(3).to_string().contains('3'));
+    }
+
+    #[test]
+    fn offending_token_caps_length() {
+        assert_eq!(offending_token("BROKEN rest of line"), "BROKEN");
+        assert_eq!(offending_token(""), "");
+        assert_eq!(offending_token("   "), "");
+        let long = "x".repeat(40);
+        let token = offending_token(&long);
+        assert_eq!(token.chars().count(), 21);
+        assert!(token.ends_with('…'));
     }
 }

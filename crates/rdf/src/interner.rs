@@ -83,7 +83,10 @@ impl Interner {
         if let Some(&id) = inner.map.get(s) {
             return id; // raced with another writer
         }
-        let id = StrId(u32::try_from(inner.strings.len()).expect("interner overflow: more than u32::MAX strings"));
+        let id = StrId(
+            u32::try_from(inner.strings.len())
+                .expect("interner overflow: more than u32::MAX strings"),
+        );
         let arc: Arc<str> = Arc::from(s);
         inner.strings.push(Arc::clone(&arc));
         inner.map.insert(arc, id);
@@ -130,7 +133,9 @@ impl Interner {
 
 impl fmt::Debug for Interner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Interner").field("len", &self.len()).finish()
+        f.debug_struct("Interner")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -187,7 +192,10 @@ mod tests {
         for _ in 0..8 {
             let i = Arc::clone(&i);
             handles.push(std::thread::spawn(move || {
-                (0..500).map(|n| i.intern(&format!("k{}", n % 50)).0).max().unwrap()
+                (0..500)
+                    .map(|n| i.intern(&format!("k{}", n % 50)).0)
+                    .max()
+                    .unwrap()
             }));
         }
         for h in handles {

@@ -47,3 +47,51 @@ pub use term::{FloatBits, IriId, Literal, LiteralKind, Term, Triple};
 
 /// Convenient result alias for fallible RDF operations.
 pub type Result<T> = std::result::Result<T, RdfError>;
+
+/// Returns the RNG seed tests should use, honoring `ALEX_TEST_SEED`.
+///
+/// With `ALEX_TEST_SEED` unset this returns `default` unchanged, so
+/// every test keeps its own fixed seed. When the variable is set
+/// (decimal or `0x`-prefixed hex), the env seed is XOR-mixed with
+/// `default`: the whole suite shifts to a new deterministic point in
+/// seed space while distinct call sites stay decorrelated and
+/// same-seed call sites stay equal. Panics on an unparsable value
+/// rather than silently falling back.
+pub fn test_seed(default: u64) -> u64 {
+    match std::env::var("ALEX_TEST_SEED") {
+        Ok(text) => {
+            let text = text.trim();
+            let parsed = if let Some(hex) = text.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                text.parse().ok()
+            };
+            match parsed {
+                Some(seed) => seed ^ default,
+                None => panic!("ALEX_TEST_SEED {text:?} is not a u64 (decimal or 0x hex)"),
+            }
+        }
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod seed_tests {
+    use super::test_seed;
+
+    #[test]
+    fn default_passes_through_when_env_unset() {
+        // The test runner does not set ALEX_TEST_SEED by default; if a
+        // developer sets it, the XOR property below still holds.
+        match std::env::var("ALEX_TEST_SEED") {
+            Err(_) => assert_eq!(test_seed(42), 42),
+            Ok(_) => assert_eq!(test_seed(42) ^ test_seed(0), 42),
+        }
+    }
+
+    #[test]
+    fn equal_defaults_stay_equal_and_distinct_stay_distinct() {
+        assert_eq!(test_seed(5), test_seed(5));
+        assert_ne!(test_seed(1), test_seed(2));
+    }
+}

@@ -23,7 +23,12 @@ use crate::Date;
 pub fn read_into<R: BufRead>(reader: R, store: &mut Store) -> crate::Result<usize> {
     let mut inserted = 0;
     for (lineno, line) in reader.lines().enumerate() {
-        let line = line.map_err(|e| RdfError::Parse { line: lineno + 1, message: e.to_string() })?;
+        let line = line.map_err(|e| RdfError::Parse {
+            line: lineno + 1,
+            column: 1,
+            token: String::new(),
+            message: e.to_string(),
+        })?;
         if let Some(triple) = parse_line(&line, lineno + 1, store)? {
             if store.insert(triple) {
                 inserted += 1;
@@ -40,7 +45,12 @@ pub fn read_str(input: &str, store: &mut Store) -> crate::Result<usize> {
 
 /// Parses a single N-Triples line. Returns `None` for blank/comment lines.
 pub fn parse_line(line: &str, lineno: usize, store: &Store) -> crate::Result<Option<Triple>> {
-    let mut p = LineParser { line, pos: 0, lineno, store };
+    let mut p = LineParser {
+        line,
+        pos: 0,
+        lineno,
+        store,
+    };
     p.skip_ws();
     if p.at_end() || p.peek() == Some('#') {
         return Ok(None);
@@ -56,7 +66,11 @@ pub fn parse_line(line: &str, lineno: usize, store: &Store) -> crate::Result<Opt
     if !p.at_end() && p.peek() != Some('#') {
         return Err(p.err("trailing content after '.'"));
     }
-    Ok(Some(Triple { subject, predicate, object }))
+    Ok(Some(Triple {
+        subject,
+        predicate,
+        object,
+    }))
 }
 
 struct LineParser<'a> {
@@ -68,7 +82,12 @@ struct LineParser<'a> {
 
 impl<'a> LineParser<'a> {
     fn err(&self, message: impl Into<String>) -> RdfError {
-        RdfError::Parse { line: self.lineno, message: message.into() }
+        RdfError::Parse {
+            line: self.lineno,
+            column: self.line[..self.pos].chars().count() + 1,
+            token: crate::error::offending_token(self.rest()),
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -145,7 +164,8 @@ impl<'a> LineParser<'a> {
         if !matches!(self.peek(), Some(c) if c.is_alphanumeric()) {
             return Err(self.err("blank node label must start alphanumeric"));
         }
-        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '.') {
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '.')
+        {
             self.bump();
         }
         // Roll back a trailing '.' — it terminates the statement.
@@ -224,8 +244,12 @@ impl<'a> LineParser<'a> {
     fn parse_unicode_escape(&mut self, digits: usize) -> crate::Result<char> {
         let mut code: u32 = 0;
         for _ in 0..digits {
-            let c = self.bump().ok_or_else(|| self.err("truncated unicode escape"))?;
-            let d = c.to_digit(16).ok_or_else(|| self.err("non-hex digit in unicode escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated unicode escape"))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in unicode escape"))?;
             code = code * 16 + d;
         }
         char::from_u32(code).ok_or_else(|| self.err("unicode escape is not a scalar value"))
@@ -237,20 +261,29 @@ impl<'a> LineParser<'a> {
 /// Recognized XSD types are parsed into their value space; unknown datatypes
 /// degrade to plain strings of the lexical form.
 pub fn typed_literal(lexical: &str, datatype: &str, store: &Store) -> crate::Result<Literal> {
-    let invalid = || RdfError::InvalidLexical { datatype: datatype.to_owned(), lexical: lexical.to_owned() };
+    let invalid = || RdfError::InvalidLexical {
+        datatype: datatype.to_owned(),
+        lexical: lexical.to_owned(),
+    };
     match datatype {
-        vocab::XSD_INTEGER | vocab::XSD_INT | vocab::XSD_LONG => {
-            lexical.trim().parse::<i64>().map(Literal::Integer).map_err(|_| invalid())
-        }
-        vocab::XSD_DOUBLE | vocab::XSD_FLOAT | vocab::XSD_DECIMAL => {
-            lexical.trim().parse::<f64>().map(Literal::float).map_err(|_| invalid())
-        }
+        vocab::XSD_INTEGER | vocab::XSD_INT | vocab::XSD_LONG => lexical
+            .trim()
+            .parse::<i64>()
+            .map(Literal::Integer)
+            .map_err(|_| invalid()),
+        vocab::XSD_DOUBLE | vocab::XSD_FLOAT | vocab::XSD_DECIMAL => lexical
+            .trim()
+            .parse::<f64>()
+            .map(Literal::float)
+            .map_err(|_| invalid()),
         vocab::XSD_BOOLEAN => match lexical.trim() {
             "true" | "1" => Ok(Literal::Boolean(true)),
             "false" | "0" => Ok(Literal::Boolean(false)),
             _ => Err(invalid()),
         },
-        vocab::XSD_DATE => Date::parse(lexical.trim()).map(Literal::Date).map_err(|_| invalid()),
+        vocab::XSD_DATE => Date::parse(lexical.trim())
+            .map(Literal::Date)
+            .map_err(|_| invalid()),
         _ => Ok(Literal::Str(store.interner().intern(lexical))),
     }
 }
@@ -422,7 +455,11 @@ mod tests {
     #[test]
     fn parses_escapes() {
         let mut store = fresh();
-        read_str(r#"<http://a> <http://p> "tab\there \"quoted\" é" ."#, &mut store).unwrap();
+        read_str(
+            r#"<http://a> <http://p> "tab\there \"quoted\" é" ."#,
+            &mut store,
+        )
+        .unwrap();
         let t = store.iter().next().unwrap();
         let id = t.object.as_literal().unwrap().as_str_id().unwrap();
         assert_eq!(&*store.interner().resolve(id), "tab\there \"quoted\" é");
@@ -466,11 +503,49 @@ mod tests {
     #[test]
     fn error_carries_line_number() {
         let mut store = fresh();
-        let err = read_str("<http://a> <http://p> <http://b> .\nnot a triple\n", &mut store).unwrap_err();
+        let err = read_str(
+            "<http://a> <http://p> <http://b> .\nnot a triple\n",
+            &mut store,
+        )
+        .unwrap_err();
         match err {
             RdfError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn error_carries_column_and_token() {
+        let mut store = fresh();
+        let err = read_str("<http://a> <http://p> BROKEN .\n", &mut store).unwrap_err();
+        match &err {
+            RdfError::Parse {
+                line,
+                column,
+                token,
+                ..
+            } => {
+                assert_eq!(*line, 1);
+                assert_eq!(*column, 23, "column points at the bad object");
+                assert_eq!(token, "BROKEN");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let rendered = err.to_string();
+        assert!(rendered.contains("line 1"), "{rendered}");
+        assert!(rendered.contains("column 23"), "{rendered}");
+        assert!(rendered.contains("\"BROKEN\""), "{rendered}");
+    }
+
+    #[test]
+    fn error_at_end_of_line_has_empty_token() {
+        let mut store = fresh();
+        let err = read_str("<http://a> <http://p> <http://b>", &mut store).unwrap_err();
+        match &err {
+            RdfError::Parse { token, .. } => assert!(token.is_empty()),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("end of input"), "{err}");
     }
 
     #[test]

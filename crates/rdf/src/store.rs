@@ -78,12 +78,16 @@ impl Store {
         if !self.seen.insert(triple) {
             return false;
         }
-        let idx = u32::try_from(self.triples.len()).expect("store overflow: more than u32::MAX triples");
+        let idx =
+            u32::try_from(self.triples.len()).expect("store overflow: more than u32::MAX triples");
         if !self.by_subject.contains_key(&triple.subject) {
             self.subject_order.push(triple.subject);
         }
         self.by_subject.entry(triple.subject).or_default().push(idx);
-        self.by_predicate.entry(triple.predicate).or_default().push(idx);
+        self.by_predicate
+            .entry(triple.predicate)
+            .or_default()
+            .push(idx);
         self.by_object.entry(triple.object).or_default().push(idx);
         self.triples.push(triple);
         true
@@ -167,17 +171,29 @@ impl Store {
         } else {
             IterInner::All(self.triples.iter())
         };
-        TripleIter { store: self, inner, subject, predicate, object }
+        TripleIter {
+            store: self,
+            inner,
+            subject,
+            predicate,
+            object,
+        }
     }
 
     /// Objects of `(subject, predicate, ?o)`.
     pub fn objects(&self, subject: IriId, predicate: IriId) -> impl Iterator<Item = Term> + '_ {
-        self.match_pattern(Some(subject), Some(predicate), None).map(|t| t.object)
+        self.match_pattern(Some(subject), Some(predicate), None)
+            .map(|t| t.object)
     }
 
     /// Subjects of `(?s, predicate, object)`.
-    pub fn subjects_with(&self, predicate: IriId, object: Term) -> impl Iterator<Item = IriId> + '_ {
-        self.match_pattern(None, Some(predicate), Some(object)).map(|t| t.subject)
+    pub fn subjects_with(
+        &self,
+        predicate: IriId,
+        object: Term,
+    ) -> impl Iterator<Item = IriId> + '_ {
+        self.match_pattern(None, Some(predicate), Some(object))
+            .map(|t| t.subject)
     }
 
     /// Materializes the [`Entity`] view of `subject` (empty attribute list
@@ -185,7 +201,10 @@ impl Store {
     pub fn entity(&self, subject: IriId) -> Entity {
         let attributes = self
             .match_pattern(Some(subject), None, None)
-            .map(|t| Attribute { predicate: t.predicate, object: t.object })
+            .map(|t| Attribute {
+                predicate: t.predicate,
+                object: t.object,
+            })
             .collect();
         Entity::new(subject, attributes)
     }
@@ -305,7 +324,12 @@ mod tests {
         assert_eq!(store.match_pattern(None, None, Some(alice)).count(), 1);
         assert_eq!(store.match_pattern(Some(a), Some(name), None).count(), 1);
         assert_eq!(store.match_pattern(Some(b), Some(age), None).count(), 0);
-        assert_eq!(store.match_pattern(Some(a), Some(name), Some(alice)).count(), 1);
+        assert_eq!(
+            store
+                .match_pattern(Some(a), Some(name), Some(alice))
+                .count(),
+            1
+        );
         // Unknown ids short-circuit to empty.
         let ghost = store.intern_iri("http://ex/ghost");
         assert_eq!(store.match_pattern(Some(ghost), None, None).count(), 0);

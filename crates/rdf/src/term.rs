@@ -229,7 +229,11 @@ pub struct Triple {
 impl Triple {
     /// Creates a triple.
     pub fn new(subject: IriId, predicate: IriId, object: impl Into<Term>) -> Self {
-        Self { subject, predicate, object: object.into() }
+        Self {
+            subject,
+            predicate,
+            object: object.into(),
+        }
     }
 }
 
@@ -246,7 +250,11 @@ mod tests {
 
     #[test]
     fn float_bits_order_is_total() {
-        let mut v = vec![FloatBits::new(3.0), FloatBits::new(-1.0), FloatBits::new(2.0)];
+        let mut v = vec![
+            FloatBits::new(3.0),
+            FloatBits::new(-1.0),
+            FloatBits::new(2.0),
+        ];
         v.sort();
         let got: Vec<f64> = v.into_iter().map(FloatBits::get).collect();
         assert_eq!(got, vec![-1.0, 2.0, 3.0]);
@@ -260,7 +268,10 @@ mod tests {
         assert!(s.as_str_id().is_some());
         assert_eq!(Literal::Integer(3).kind(), LiteralKind::Integer);
         assert_eq!(Literal::Integer(3).as_str_id(), None);
-        let lang = Literal::LangStr { value: interner.intern("bonjour"), lang: interner.intern("fr") };
+        let lang = Literal::LangStr {
+            value: interner.intern("bonjour"),
+            lang: interner.intern("fr"),
+        };
         assert_eq!(lang.kind(), LiteralKind::LangStr);
         assert_eq!(&*interner.resolve(lang.as_str_id().unwrap()), "bonjour");
     }

@@ -49,7 +49,13 @@ struct TurtleParser<'a> {
 
 impl<'a> TurtleParser<'a> {
     fn err(&self, message: impl Into<String>) -> RdfError {
-        RdfError::Parse { line: self.line, message: message.into() }
+        let line_start = self.input[..self.pos].rfind('\n').map_or(0, |i| i + 1);
+        RdfError::Parse {
+            line: self.line,
+            column: self.input[line_start..self.pos].chars().count() + 1,
+            token: crate::error::offending_token(self.rest()),
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -172,8 +178,8 @@ impl<'a> TurtleParser<'a> {
         }
         let raw = &self.input[start..self.pos];
         self.bump(); // '>'
-        // Relative IRIs resolve against @base (simple concatenation — full
-        // RFC 3986 resolution is out of scope and unused by LOD dumps).
+                     // Relative IRIs resolve against @base (simple concatenation — full
+                     // RFC 3986 resolution is out of scope and unused by LOD dumps).
         if raw.contains(':') || self.base.is_empty() {
             Ok(raw.to_owned())
         } else {
@@ -279,7 +285,11 @@ impl<'a> TurtleParser<'a> {
             let predicate = self.parse_predicate(store)?;
             loop {
                 let object = self.parse_object(store)?;
-                if store.insert(Triple { subject, predicate, object }) {
+                if store.insert(Triple {
+                    subject,
+                    predicate,
+                    object,
+                }) {
                     self.inserted += 1;
                 }
                 if !self.eat(',') {
@@ -300,7 +310,10 @@ impl<'a> TurtleParser<'a> {
     fn parse_predicate(&mut self, store: &mut Store) -> crate::Result<IriId> {
         self.skip_ws();
         if self.rest().starts_with('a')
-            && self.rest()[1..].chars().next().is_some_and(|c| c.is_whitespace())
+            && self.rest()[1..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_whitespace())
         {
             self.bump();
             return Ok(store.intern_iri(vocab::RDF_TYPE));
@@ -405,7 +418,9 @@ impl<'a> TurtleParser<'a> {
     fn unicode_escape(&mut self, digits: usize) -> crate::Result<char> {
         let mut code = 0u32;
         for _ in 0..digits {
-            let c = self.bump().ok_or_else(|| self.err("truncated unicode escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated unicode escape"))?;
             code = code * 16 + c.to_digit(16).ok_or_else(|| self.err("bad hex digit"))?;
         }
         char::from_u32(code).ok_or_else(|| self.err("invalid unicode scalar"))
@@ -423,7 +438,11 @@ impl<'a> TurtleParser<'a> {
             } else if c == '.' && !is_float {
                 // A '.' followed by a digit is a decimal point; otherwise
                 // it terminates the statement.
-                if self.rest()[1..].chars().next().is_some_and(|d| d.is_ascii_digit()) {
+                if self.rest()[1..]
+                    .chars()
+                    .next()
+                    .is_some_and(|d| d.is_ascii_digit())
+                {
                     is_float = true;
                     self.bump();
                 } else {
@@ -465,7 +484,11 @@ pub fn write_string(store: &Store) -> String {
     let mut note = |iri: &str| {
         if let Some(cut) = iri.rfind(['#', '/']) {
             let (ns, local) = iri.split_at(cut + 1);
-            if !local.is_empty() && local.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-') {
+            if !local.is_empty()
+                && local
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+            {
                 *ns_count.entry(ns.to_owned()).or_insert(0) += 1;
             }
         }
@@ -477,7 +500,8 @@ pub fn write_string(store: &Store) -> String {
             note(&store.iri_str(o));
         }
     }
-    let mut namespaces: Vec<(String, usize)> = ns_count.into_iter().filter(|(_, c)| *c >= 3).collect();
+    let mut namespaces: Vec<(String, usize)> =
+        ns_count.into_iter().filter(|(_, c)| *c >= 3).collect();
     namespaces.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     namespaces.truncate(16);
     let prefix_of: HashMap<String, String> = namespaces
@@ -493,7 +517,9 @@ pub fn write_string(store: &Store) -> String {
         if let Some(cut) = iri.rfind(['#', '/']) {
             let (ns, local) = iri.split_at(cut + 1);
             if !local.is_empty()
-                && local.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+                && local
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
             {
                 if let Some(p) = prefix_of.get(ns) {
                     return format!("{p}:{local}");
@@ -582,7 +608,10 @@ mod tests {
         let t = s.iter().next().unwrap();
         assert_eq!(&*s.iri_str(t.subject), "http://example.org/alice");
         assert_eq!(&*s.iri_str(t.predicate), vocab::RDF_TYPE);
-        assert_eq!(&*s.iri_str(t.object.as_iri().unwrap()), "http://xmlns.com/foaf/0.1/Person");
+        assert_eq!(
+            &*s.iri_str(t.object.as_iri().unwrap()),
+            "http://xmlns.com/foaf/0.1/Person"
+        );
     }
 
     #[test]
@@ -698,12 +727,41 @@ mod tests {
             assert!(err.is_err(), "should reject: {c}");
         }
         let mut store = Store::new(Interner::new_shared());
-        let err = read_str("<http://a> <http://p> <http://b> .\n<http://a> oops", &mut store)
-            .unwrap_err();
+        let err = read_str(
+            "<http://a> <http://p> <http://b> .\n<http://a> oops",
+            &mut store,
+        )
+        .unwrap_err();
         match err {
             RdfError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn errors_carry_column_and_token() {
+        let mut store = Store::new(Interner::new_shared());
+        let err = read_str(
+            "<http://a> <http://p> <http://b> .\n<http://a> <http://q> ( 1 2 ) .",
+            &mut store,
+        )
+        .unwrap_err();
+        match &err {
+            RdfError::Parse {
+                line,
+                column,
+                token,
+                ..
+            } => {
+                assert_eq!(*line, 2);
+                assert_eq!(*column, 23, "column points at the '('");
+                assert_eq!(token, "(");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let rendered = err.to_string();
+        assert!(rendered.contains("line 2"), "{rendered}");
+        assert!(rendered.contains("column"), "{rendered}");
     }
 
     #[test]

@@ -50,9 +50,11 @@ fn build_store(specs: &[(String, String, ObjSpec)]) -> Store {
         let term: Term = match o {
             ObjSpec::Iri(i) => Term::Iri(store.intern_iri(i)),
             ObjSpec::Str(v) => Literal::str(&interner, v).into(),
-            ObjSpec::Lang(v, l) => {
-                Literal::LangStr { value: interner.intern(v), lang: interner.intern(l) }.into()
+            ObjSpec::Lang(v, l) => Literal::LangStr {
+                value: interner.intern(v),
+                lang: interner.intern(l),
             }
+            .into(),
             ObjSpec::Int(i) => Literal::Integer(*i).into(),
             ObjSpec::Float(f) => Literal::float(*f).into(),
             ObjSpec::Bool(b) => Literal::Boolean(*b).into(),

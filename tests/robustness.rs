@@ -13,7 +13,7 @@ fn setup(
 ) -> (datagen::GeneratedPair, Vec<alex::rdf::Link>, AlexConfig) {
     let pair = datagen::generate(&kind.spec(scale, 17));
     let (p0, r0) = kind.initial_quality();
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = StdRng::seed_from_u64(alex_rdf::test_seed(3));
     let initial = degrade(&pair.truth, p0, r0, &mut rng);
     let mut cfg = AlexConfig {
         episode_size: kind.suggested_episode_size(scale),
@@ -43,7 +43,10 @@ fn noisy_feedback_preserves_recall() {
     };
     let rc = clean.final_quality().recall;
     let rn = noisy.final_quality().recall;
-    assert!(rn > rc - 0.2, "noisy recall {rn} should stay near clean recall {rc}");
+    assert!(
+        rn > rc - 0.2,
+        "noisy recall {rn} should stay near clean recall {rc}"
+    );
     assert!(rn > 0.6, "noisy recall should stay substantial, got {rn}");
 }
 
@@ -122,7 +125,10 @@ fn relaxed_stop_trades_quality_for_episodes() {
     let mut d = AlexDriver::new(&pair.left, &pair.right, &initial, cfg.clone()).unwrap();
     let relaxed = d.run(&ExactOracle::new(pair.truth.clone()), &pair.truth);
 
-    let strict_cfg = AlexConfig { stop_at_relaxed: false, ..cfg };
+    let strict_cfg = AlexConfig {
+        stop_at_relaxed: false,
+        ..cfg
+    };
     let mut d = AlexDriver::new(&pair.left, &pair.right, &initial, strict_cfg).unwrap();
     let strict = d.run(&ExactOracle::new(pair.truth.clone()), &pair.truth);
 

@@ -1,0 +1,113 @@
+//! Integration test: a SessionSnapshot survives the full persistence
+//! cycle — capture → JSON → fresh process (fresh stores and interner,
+//! datasets reloaded from their N-Triples serialization) → restore —
+//! with identical candidates, blacklist, and config.
+
+use std::collections::HashSet;
+
+use alex_core::{AlexConfig, AlexDriver, ExactOracle, SessionSnapshot};
+use alex_rdf::{ntriples, Interner, Link, Literal, Store};
+
+fn world() -> (Store, Store, HashSet<Link>) {
+    let interner = Interner::new_shared();
+    let mut left = Store::new(interner.clone());
+    let mut right = Store::new(interner.clone());
+    let name_l = left.intern_iri("http://l/name");
+    let name_r = right.intern_iri("http://r/label");
+    let mut truth = HashSet::new();
+    for i in 0..12 {
+        let l = left.intern_iri(&format!("http://l/e{i}"));
+        let r = right.intern_iri(&format!("http://r/e{i}"));
+        let nm = format!("entity number {i}");
+        left.insert_literal(l, name_l, Literal::str(&interner, &nm));
+        right.insert_literal(r, name_r, Literal::str(&interner, &nm));
+        truth.insert(Link::new(l, r));
+    }
+    (left, right, truth)
+}
+
+fn cfg() -> AlexConfig {
+    AlexConfig {
+        episode_size: 20,
+        partitions: 2,
+        max_episodes: 4,
+        seed: alex_rdf::test_seed(17),
+        ..Default::default()
+    }
+}
+
+/// Renders both stores to N-Triples text and parses them back into a
+/// completely fresh interner, as a restart would.
+fn reload(left: &Store, right: &Store) -> (Store, Store) {
+    let fresh = Interner::new_shared();
+    let mut left2 = Store::new(fresh.clone());
+    let mut right2 = Store::new(fresh.clone());
+    ntriples::read_str(&ntriples::write_string(left), &mut left2).unwrap();
+    ntriples::read_str(&ntriples::write_string(right), &mut right2).unwrap();
+    (left2, right2)
+}
+
+#[test]
+fn snapshot_restores_identically_against_reloaded_stores() {
+    let (left, right, truth) = world();
+    let initial: Vec<Link> = truth.iter().take(4).copied().collect();
+    let mut driver = AlexDriver::new(&left, &right, &initial, cfg()).unwrap();
+    let oracle = ExactOracle::new(truth.clone());
+    driver.run(&oracle, &truth);
+
+    let mut snap = SessionSnapshot::capture(&driver, &left, &right);
+    // A non-empty blacklist so all three sections are exercised.
+    snap.blacklist
+        .push(("http://l/e0".into(), "http://r/e5".into()));
+    snap.blacklist.sort();
+    let json = snap.to_json();
+
+    // "New process": parse the JSON and reload the datasets from text.
+    let back = SessionSnapshot::from_json(&json).unwrap();
+    assert_eq!(
+        back, snap,
+        "snapshot must round-trip through JSON unchanged"
+    );
+
+    let (left2, right2) = reload(&left, &right);
+    let restored = back.restore(&left2, &right2).unwrap();
+
+    // Interned ids differ across interners, so compare by IRI string.
+    let mut restored_candidates: Vec<(String, String)> = restored
+        .candidate_links()
+        .into_iter()
+        .map(|l| {
+            (
+                left2.iri_str(l.left).to_string(),
+                right2.iri_str(l.right).to_string(),
+            )
+        })
+        .collect();
+    restored_candidates.sort();
+    assert_eq!(restored_candidates, snap.candidates);
+    assert_eq!(restored.config(), &snap.config);
+
+    // Re-capturing the restored driver reproduces the snapshot exactly.
+    let recaptured = SessionSnapshot::capture(&restored, &left2, &right2);
+    assert_eq!(recaptured.candidates, snap.candidates);
+    assert_eq!(recaptured.blacklist, snap.blacklist);
+    assert_eq!(recaptured.config, snap.config);
+}
+
+#[test]
+fn config_fields_survive_json_round_trip() {
+    let (left, right, truth) = world();
+    let initial: Vec<Link> = truth.iter().take(2).copied().collect();
+    let mut config = cfg();
+    config.theta = 0.42;
+    config.epsilon = 0.25;
+    config.blacklist_threshold = 3;
+    let driver = AlexDriver::new(&left, &right, &initial, config.clone()).unwrap();
+
+    let snap = SessionSnapshot::capture(&driver, &left, &right);
+    let back = SessionSnapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(back.config.theta, 0.42);
+    assert_eq!(back.config.epsilon, 0.25);
+    assert_eq!(back.config.blacklist_threshold, 3);
+    assert_eq!(back.config, config);
+}
