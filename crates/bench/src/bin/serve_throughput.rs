@@ -1,0 +1,251 @@
+//! Load generator for `alex-serve`: starts an in-process server, creates
+//! one curation session, then hammers it from client threads over real
+//! TCP with a query/feedback/links/healthz mix. Reports per-route
+//! throughput and latency quantiles, then the server's own `/metrics`.
+//!
+//! ```sh
+//! cargo run --release -p alex-bench --bin serve_throughput -- \
+//!     [--threads N] [--seconds S] [--workers N] [--queue-depth N]
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use alex_serve::{ServeConfig, Server};
+
+fn arg(flag: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} must be an integer"))
+        })
+        .unwrap_or(default)
+}
+
+/// One keep-alive HTTP/1.1 client connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    /// Sends one request and reads the full response; returns the status.
+    fn request(&mut self, method: &str, path: &str, body: &str) -> u16 {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("send");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("status line");
+        let status: u16 = line
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|r| r.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {line:?}"));
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            self.reader.read_line(&mut line).expect("header");
+            let line = line.trim();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().expect("content-length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).expect("body");
+        status
+    }
+}
+
+/// The per-route request mix: weight, method, path, body.
+fn mix(session: &str) -> Vec<(usize, &'static str, String, String)> {
+    let query = r#"{"query": "SELECT ?article WHERE { ?player <http://db/award> <http://db/MVP> . ?article <http://ny/about> ?player }"}"#;
+    let feedback = r#"{"items": [{"left": "http://db/player0", "right": "http://ny/person0", "approve": true}]}"#;
+    vec![
+        (
+            4,
+            "POST",
+            format!("/sessions/{session}/query"),
+            query.to_string(),
+        ),
+        (
+            1,
+            "POST",
+            format!("/sessions/{session}/feedback"),
+            feedback.to_string(),
+        ),
+        (
+            2,
+            "GET",
+            format!("/sessions/{session}/links"),
+            String::new(),
+        ),
+        (3, "GET", "/healthz".to_string(), String::new()),
+    ]
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn main() {
+    let threads = arg("--threads", 8);
+    let seconds = arg("--seconds", 5);
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: arg("--workers", 4),
+        queue_depth: arg("--queue-depth", 64),
+        request_timeout: Duration::from_secs(10),
+        state_dir: None,
+    };
+    println!(
+        "serve_throughput: {threads} client threads x {seconds}s against {} workers, queue {}",
+        cfg.workers, cfg.queue_depth
+    );
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    // One session, paper-style: players on the left, articles about their
+    // namesakes on the right, one seed link per player.
+    let mut left = String::new();
+    let mut right = String::new();
+    let mut links = Vec::new();
+    for i in 0..50 {
+        left.push_str(&format!(
+            "<http://db/player{i}> <http://db/name> \\\"p {i}\\\" .\\n"
+        ));
+        right.push_str(&format!(
+            "<http://ny/person{i}> <http://ny/name> \\\"p {i}\\\" .\\n"
+        ));
+        right.push_str(&format!(
+            "<http://ny/article{i}> <http://ny/about> <http://ny/person{i}> .\\n"
+        ));
+        links.push(format!(
+            "[\"http://db/player{i}\", \"http://ny/person{i}\"]"
+        ));
+    }
+    left.push_str("<http://db/player0> <http://db/award> <http://db/MVP> .\\n");
+    let body = format!(
+        r#"{{"left_data": "{left}", "right_data": "{right}", "links": [{}],
+            "config": {{"partitions": 2, "seed": 7}}}}"#,
+        links.join(", ")
+    );
+    let mut setup = Client::connect(&addr);
+    let status = setup.request("POST", "/sessions", &body);
+    assert_eq!(status, 201, "session create failed");
+    let session = "s1";
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            let mix = mix(session);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr);
+                // (latencies, errors) per mix entry.
+                let mut out: Vec<(Vec<f64>, u64)> = mix.iter().map(|_| (Vec::new(), 0)).collect();
+                let mut i = t; // stagger thread starting points in the mix
+                while !stop.load(Ordering::Relaxed) {
+                    // Weighted round-robin over the mix.
+                    let slot = {
+                        let total: usize = mix.iter().map(|m| m.0).sum();
+                        let mut pick = i % total;
+                        mix.iter()
+                            .position(|m| {
+                                if pick < m.0 {
+                                    true
+                                } else {
+                                    pick -= m.0;
+                                    false
+                                }
+                            })
+                            .unwrap()
+                    };
+                    let (_, method, path, body) = &mix[slot];
+                    let t0 = Instant::now();
+                    let status = client.request(method, path, body);
+                    if (200..300).contains(&status) {
+                        out[slot].0.push(t0.elapsed().as_secs_f64());
+                    } else {
+                        out[slot].1 += 1;
+                    }
+                    i += 1;
+                }
+                out
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_secs(seconds as u64));
+    stop.store(true, Ordering::Relaxed);
+    let mut per_route: Vec<(Vec<f64>, u64)> =
+        mix(session).iter().map(|_| (Vec::new(), 0)).collect();
+    for h in handles {
+        for (slot, (lat, errs)) in h.join().expect("client thread").into_iter().enumerate() {
+            per_route[slot].0.extend(lat);
+            per_route[slot].1 += errs;
+        }
+    }
+
+    println!(
+        "\n{:<28} {:>8} {:>8} {:>9} {:>9} {:>9} {:>7}",
+        "route", "ok", "err", "p50 ms", "p95 ms", "p99 ms", "req/s"
+    );
+    let mut total_ok = 0usize;
+    for (slot, (_, method, path, _)) in mix(session).iter().enumerate() {
+        let (mut lat, errs) = per_route[slot].clone();
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        total_ok += lat.len();
+        println!(
+            "{:<28} {:>8} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>7.0}",
+            format!("{method} {path}"),
+            lat.len(),
+            errs,
+            quantile(&lat, 0.50) * 1000.0,
+            quantile(&lat, 0.95) * 1000.0,
+            quantile(&lat, 0.99) * 1000.0,
+            lat.len() as f64 / seconds as f64,
+        );
+    }
+    println!(
+        "\ntotal: {total_ok} ok requests, {:.0} req/s overall",
+        total_ok as f64 / seconds as f64
+    );
+
+    let mut metrics = Client::connect(&addr);
+    let status = metrics.request("GET", "/metrics", "");
+    assert_eq!(status, 200);
+    println!("\nserver-side metrics snapshot:");
+    print!("{}", server.state().metrics.render());
+    server.shutdown();
+}

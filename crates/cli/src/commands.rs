@@ -47,7 +47,10 @@ pub fn link(args: &[String]) -> Result<(), String> {
         return Err("link takes exactly two files".into());
     };
     let threshold: f64 = flag_value(args, "--threshold")
-        .map(|v| v.parse().map_err(|_| "--threshold must be a number".to_string()))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--threshold must be a number".to_string())
+        })
         .transpose()?
         .unwrap_or(0.95);
 
@@ -103,7 +106,9 @@ pub fn query(args: &[String]) -> Result<(), String> {
         Some(q) => q,
         None => {
             let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf).map_err(|e| e.to_string())?;
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| e.to_string())?;
             buf
         }
     };
@@ -111,8 +116,7 @@ pub fn query(args: &[String]) -> Result<(), String> {
         return Err("empty query (pass --query or pipe on stdin)".into());
     }
 
-    let mut fed =
-        FederatedEngine::new(stores.iter().map(|(n, s)| (n.clone(), s)).collect());
+    let mut fed = FederatedEngine::new(stores.iter().map(|(n, s)| (n.clone(), s)).collect());
     if let Some(links_path) = flag_value(args, "--links") {
         let links = load_links(&links_path, &interner)?;
         eprintln!("installed {} owl:sameAs links", links.len());
@@ -137,12 +141,96 @@ pub fn query(args: &[String]) -> Result<(), String> {
             let prov: Vec<String> = a
                 .links
                 .iter()
-                .map(|l| format!("{}≡{}", interner.resolve(l.left.0), interner.resolve(l.right.0)))
+                .map(|l| {
+                    format!(
+                        "{}≡{}",
+                        interner.resolve(l.left.0),
+                        interner.resolve(l.right.0)
+                    )
+                })
                 .collect();
             println!("{}\t# via {}", rendered.join("\t"), prov.join(", "));
         }
     }
     Ok(())
+}
+
+/// `alex serve [--addr A] [--workers N] [--queue-depth N]
+/// [--request-timeout SECS] [--state-dir DIR]` — run the HTTP curation
+/// server until SIGINT/SIGTERM, then drain and snapshot sessions.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let parse_usize = |flag: &str, default: usize| -> Result<usize, String> {
+        flag_value(args, flag)
+            .map(|v| v.parse().map_err(|_| format!("{flag} must be an integer")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let cfg = alex_serve::ServeConfig {
+        addr: flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into()),
+        workers: parse_usize("--workers", 4)?,
+        queue_depth: parse_usize("--queue-depth", 64)?,
+        request_timeout: std::time::Duration::from_secs_f64(
+            flag_value(args, "--request-timeout")
+                .map(|v| {
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|s| *s > 0.0)
+                        .ok_or("--request-timeout must be a positive number of seconds")
+                })
+                .transpose()?
+                .unwrap_or(10.0),
+        ),
+        state_dir: flag_value(args, "--state-dir").map(std::path::PathBuf::from),
+    };
+    let workers = cfg.workers;
+    let queue_depth = cfg.queue_depth;
+
+    // Handlers go in before the listener is announced: once the banner is
+    // out a supervisor may signal us at any moment, and an uninstalled
+    // handler would mean death by default action instead of a drain.
+    install_signal_handlers();
+    let server = alex_serve::Server::start(cfg).map_err(|e| format!("binding server: {e}"))?;
+    // Printed on stdout and flushed so wrappers (and the e2e tests) can
+    // discover the port when started with --addr 127.0.0.1:0.
+    println!("alex-serve listening on http://{}", server.local_addr());
+    println!("workers {workers}, queue depth {queue_depth}; Ctrl-C to drain and exit");
+    std::io::Write::flush(&mut std::io::stdout()).ok();
+
+    while !SHUTDOWN_REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("shutting down: draining in-flight requests");
+    for outcome in server.shutdown() {
+        match outcome {
+            Ok(path) => eprintln!("saved session snapshot {}", path.display()),
+            Err(e) => eprintln!("snapshot error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// Set by the signal handler; polled by the serve loop.
+static SHUTDOWN_REQUESTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn request_shutdown(_signum: i32) {
+    // Only async-signal-safe work here: set the flag and return.
+    SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers through the C `signal` entry point —
+/// the build is offline, so no `libc`/`signal-hook` crates; the two
+/// constants are stable POSIX numbers on Linux.
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, request_shutdown);
+        signal(SIGTERM, request_shutdown);
+    }
 }
 
 /// `alex curate <left> <right> --links f --truth g` — run the feedback loop
@@ -162,17 +250,25 @@ pub fn curate(args: &[String]) -> Result<(), String> {
 
     let mut cfg = AlexConfig {
         episode_size: flag_value(args, "--episode-size")
-            .map(|v| v.parse().map_err(|_| "--episode-size must be an integer".to_string()))
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| "--episode-size must be an integer".to_string())
+            })
             .transpose()?
             .unwrap_or_else(|| (truth.len() / 4).max(10)),
         partitions: flag_value(args, "--partitions")
-            .map(|v| v.parse().map_err(|_| "--partitions must be an integer".to_string()))
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| "--partitions must be an integer".to_string())
+            })
             .transpose()?
             .unwrap_or(8),
         ..Default::default()
     };
     if let Some(n) = flag_value(args, "--episodes") {
-        cfg.max_episodes = n.parse().map_err(|_| "--episodes must be an integer".to_string())?;
+        cfg.max_episodes = n
+            .parse()
+            .map_err(|_| "--episodes must be an integer".to_string())?;
     }
 
     // Resume from a session snapshot, or start from --links.

@@ -10,7 +10,10 @@ use alex_rdf::{ntriples, turtle, Interner, Link, Store};
 pub fn load_store(path: &str, interner: &Arc<Interner>) -> Result<Store, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let mut store = Store::new(Arc::clone(interner));
-    let ext = Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("");
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
     match ext {
         "ttl" | "turtle" => {
             turtle::read_str(&text, &mut store).map_err(|e| format!("parsing {path}: {e}"))?;
@@ -51,7 +54,10 @@ pub fn save_links(
             n += 1;
         }
     }
-    let ext = Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("");
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
     let text = match ext {
         "ttl" | "turtle" => turtle::write_string(&store),
         _ => ntriples::write_string(&store),
@@ -67,7 +73,10 @@ pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
 
 /// Pulls every value following any occurrence of `--flag`.
 pub fn flag_values(args: &[String], flag: &str) -> Vec<String> {
-    args.windows(2).filter(|w| w[0] == flag).map(|w| w[1].clone()).collect()
+    args.windows(2)
+        .filter(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+        .collect()
 }
 
 /// Positional arguments (everything not a flag or a flag value).

@@ -28,6 +28,8 @@ USAGE:
     alex curate <LEFT> <RIGHT> --links FILE --truth FILE
                 [--episodes N] [--episode-size K] [--partitions P]
                 [--session FILE] [--out FILE]
+    alex serve  [--addr HOST:PORT] [--workers N] [--queue-depth N]
+                [--request-timeout SECS] [--state-dir DIR]
 
 FILES:    .nt (N-Triples) or .ttl (Turtle), by extension.
 
@@ -40,7 +42,11 @@ COMMANDS:
              from --query or stdin. Answers show their link provenance.
     curate   Run ALEX against a ground-truth oracle, starting from --links,
              and write the curated links. --session saves a resumable
-             snapshot (and resumes from it if the file exists)."
+             snapshot (and resumes from it if the file exists).
+    serve    Run the interactive curation HTTP server (sessions, federated
+             queries with provenance, answer feedback, /metrics). Ctrl-C
+             drains in-flight requests and, with --state-dir, saves every
+             session as a restorable snapshot."
 }
 
 fn main() -> ExitCode {
@@ -55,6 +61,7 @@ fn main() -> ExitCode {
         "link" => commands::link(rest),
         "query" => commands::query(rest),
         "curate" => commands::curate(rest),
+        "serve" => commands::serve(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -47,12 +47,18 @@ pub struct RunOutcome {
 impl RunOutcome {
     /// The final quality reached.
     pub fn final_quality(&self) -> Quality {
-        self.reports.last().expect("reports always contain the baseline").quality
+        self.reports
+            .last()
+            .expect("reports always contain the baseline")
+            .quality
     }
 
     /// Execution time of the slowest partition, in milliseconds (§7.3).
     pub fn slowest_partition_ms(&self) -> f64 {
-        self.partition_durations_ms.iter().copied().fold(0.0, f64::max)
+        self.partition_durations_ms
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
     }
 
     /// Mean partition execution time, in milliseconds (§7.3).
@@ -60,7 +66,8 @@ impl RunOutcome {
         if self.partition_durations_ms.is_empty() {
             0.0
         } else {
-            self.partition_durations_ms.iter().sum::<f64>() / self.partition_durations_ms.len() as f64
+            self.partition_durations_ms.iter().sum::<f64>()
+                / self.partition_durations_ms.len() as f64
         }
     }
 }
@@ -122,7 +129,10 @@ impl AlexDriver {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("space build panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("space build panicked"))
+                .collect()
         });
 
         // Route initial links to their owning partition; links whose left
@@ -148,7 +158,11 @@ impl AlexDriver {
             engines[k].preload_blacklist([l]);
         }
 
-        Ok(Self { engines, owner, cfg })
+        Ok(Self {
+            engines,
+            owner,
+            cfg,
+        })
     }
 
     /// The driver's configuration.
@@ -177,7 +191,10 @@ impl AlexDriver {
 
     /// Sum of all partitions' unfiltered pair counts.
     pub fn total_possible_pairs(&self) -> usize {
-        self.engines.iter().map(|e| e.space().total_possible()).sum()
+        self.engines
+            .iter()
+            .map(|e| e.space().total_possible())
+            .sum()
     }
 
     fn allot_items(&self) -> Vec<usize> {
@@ -187,8 +204,7 @@ impl AlexDriver {
             return vec![0; counts.len()];
         }
         let budget = self.cfg.episode_size;
-        let mut items: Vec<usize> =
-            counts.iter().map(|&c| budget * c / total).collect();
+        let mut items: Vec<usize> = counts.iter().map(|&c| budget * c / total).collect();
         // Distribute the rounding remainder to the largest partitions.
         let mut assigned: usize = items.iter().sum();
         let mut order: Vec<usize> = (0..counts.len()).collect();
@@ -217,6 +233,30 @@ impl AlexDriver {
             .collect()
     }
 
+    /// Processes one interactive feedback item (Figure 1's answer
+    /// feedback), routing the link to the partition that owns its left
+    /// entity — links whose left entity is unknown go to partition 0, the
+    /// same rule [`AlexDriver::new`] uses to place initial links.
+    ///
+    /// Call [`AlexDriver::end_episode`] after a batch of feedback to run
+    /// policy improvement; [`AlexDriver::run`] and [`AlexDriver::step`]
+    /// do this internally.
+    pub fn process_feedback(&mut self, link: Link, positive: bool) {
+        let k = self.owner.get(&link.left).copied().unwrap_or(0);
+        self.engines[k].process_feedback(link, positive);
+    }
+
+    /// Ends the current interactive episode on every partition (ε-greedy
+    /// policy improvement at each visited state), returning the aggregated
+    /// counters for feedback processed since the last episode boundary.
+    pub fn end_episode(&mut self) -> PartitionEpisodeStats {
+        let mut totals = PartitionEpisodeStats::default();
+        for e in &mut self.engines {
+            totals.merge(&e.end_episode());
+        }
+        totals
+    }
+
     /// Aggregated learning-state diagnostics across all partitions.
     pub fn diagnostics(&self) -> EngineDiagnostics {
         let mut out = EngineDiagnostics::default();
@@ -240,7 +280,10 @@ impl AlexDriver {
                 .zip(&items)
                 .map(|(e, &count)| scope.spawn(move || e.run_episode(count, oracle)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("partition panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("partition panicked"))
+                .collect()
         });
         let mut totals = PartitionEpisodeStats::default();
         for r in &results {
@@ -253,8 +296,9 @@ impl AlexDriver {
     /// quality against `ground_truth` after every episode.
     pub fn run(&mut self, oracle: &dyn FeedbackOracle, ground_truth: &HashSet<Link>) -> RunOutcome {
         let n = self.engines.len();
-        let partition_truths: Vec<HashSet<Link>> =
-            (0..n).map(|k| self.partition_truth(ground_truth, k)).collect();
+        let partition_truths: Vec<HashSet<Link>> = (0..n)
+            .map(|k| self.partition_truth(ground_truth, k))
+            .collect();
 
         let mut reports = Vec::new();
         let mut partition_reports: Vec<Vec<EpisodeReport>> = vec![Vec::new(); n];
@@ -290,8 +334,11 @@ impl AlexDriver {
 
         let mut strict = None;
         let mut relaxed = None;
-        let mut prev_per_partition: Vec<HashSet<Link>> =
-            self.engines.iter().map(|e| e.candidates().to_set()).collect();
+        let mut prev_per_partition: Vec<HashSet<Link>> = self
+            .engines
+            .iter()
+            .map(|e| e.candidates().to_set())
+            .collect();
 
         for episode in 1..=self.cfg.max_episodes {
             let items = self.allot_items();
@@ -312,7 +359,10 @@ impl AlexDriver {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("partition panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("partition panicked"))
+                    .collect()
             });
             let episode_ms = episode_start.elapsed().as_secs_f64() * 1000.0;
 
@@ -432,7 +482,10 @@ mod tests {
         let q0 = out.reports[0].quality;
         let qn = out.final_quality();
         assert!(q0.recall <= 0.25 + 1e-9);
-        assert!(qn.recall > q0.recall, "recall must improve: {q0:?} -> {qn:?}");
+        assert!(
+            qn.recall > q0.recall,
+            "recall must improve: {q0:?} -> {qn:?}"
+        );
         assert!(qn.f1 > 0.8, "final F1 {qn:?}");
         assert!(out.strict_convergence.is_some() || out.reports.len() > 30);
     }
@@ -451,7 +504,10 @@ mod tests {
         let q0 = out.reports[0].quality;
         let qn = out.final_quality();
         assert!(q0.precision < 0.7);
-        assert!(qn.precision > q0.precision, "precision must improve: {q0:?} -> {qn:?}");
+        assert!(
+            qn.precision > q0.precision,
+            "precision must improve: {q0:?} -> {qn:?}"
+        );
     }
 
     #[test]
@@ -468,15 +524,17 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         let (left, right, _, _) = world(3);
-        let bad = AlexConfig { partitions: 0, ..Default::default() };
+        let bad = AlexConfig {
+            partitions: 0,
+            ..Default::default()
+        };
         assert!(AlexDriver::new(&left, &right, &[], bad).is_err());
     }
 
     #[test]
     fn partition_reports_cover_all_partitions() {
         let (left, right, truth, links) = world(10);
-        let mut driver =
-            AlexDriver::new(&left, &right, &links[..3], small_cfg()).unwrap();
+        let mut driver = AlexDriver::new(&left, &right, &links[..3], small_cfg()).unwrap();
         let oracle = ExactOracle::new(truth.clone());
         let out = driver.run(&oracle, &truth);
         assert_eq!(out.partition_reports.len(), 3);
@@ -493,12 +551,23 @@ mod tests {
         // With one partition there is no cross-thread scheduling, so two
         // runs with the same seed must be identical.
         let (left, right, truth, links) = world(15);
-        let cfg = AlexConfig { partitions: 1, episode_size: 60, max_episodes: 10, ..Default::default() };
+        let cfg = AlexConfig {
+            partitions: 1,
+            episode_size: 60,
+            max_episodes: 10,
+            ..Default::default()
+        };
         let run = |cfg: AlexConfig| {
             let mut d = AlexDriver::new(&left, &right, &links[..4], cfg).unwrap();
             let oracle = ExactOracle::new(truth.clone());
             let out = d.run(&oracle, &truth);
-            (out.reports.iter().map(|r| (r.candidates, r.links_added)).collect::<Vec<_>>(), out.final_links)
+            (
+                out.reports
+                    .iter()
+                    .map(|r| (r.candidates, r.links_added))
+                    .collect::<Vec<_>>(),
+                out.final_links,
+            )
         };
         let (r1, f1) = run(cfg.clone());
         let (r2, f2) = run(cfg);
@@ -509,7 +578,11 @@ mod tests {
     #[test]
     fn allot_items_is_proportional_and_exact() {
         let (left, right, _, links) = world(12);
-        let cfg = AlexConfig { partitions: 3, episode_size: 90, ..Default::default() };
+        let cfg = AlexConfig {
+            partitions: 3,
+            episode_size: 90,
+            ..Default::default()
+        };
         let driver = AlexDriver::new(&left, &right, &links, cfg).unwrap();
         let items = driver.allot_items();
         assert_eq!(items.len(), 3);
@@ -524,7 +597,11 @@ mod tests {
     fn allot_items_skips_empty_partitions() {
         let (left, right, _, links) = world(9);
         // Seed only one link: its partition gets the whole budget.
-        let cfg = AlexConfig { partitions: 3, episode_size: 30, ..Default::default() };
+        let cfg = AlexConfig {
+            partitions: 3,
+            episode_size: 30,
+            ..Default::default()
+        };
         let driver = AlexDriver::new(&left, &right, &links[..1], cfg).unwrap();
         let items = driver.allot_items();
         assert_eq!(items.iter().sum::<usize>(), 30);
@@ -534,7 +611,10 @@ mod tests {
     #[test]
     fn allot_items_zero_when_no_candidates() {
         let (left, right, _, _) = world(5);
-        let cfg = AlexConfig { partitions: 2, ..Default::default() };
+        let cfg = AlexConfig {
+            partitions: 2,
+            ..Default::default()
+        };
         let driver = AlexDriver::new(&left, &right, &[], cfg).unwrap();
         assert!(driver.allot_items().iter().all(|&i| i == 0));
     }
@@ -542,17 +622,27 @@ mod tests {
     #[test]
     fn filtered_space_and_total_pairs_counts() {
         let (left, right, _, links) = world(8);
-        let cfg = AlexConfig { partitions: 2, ..Default::default() };
+        let cfg = AlexConfig {
+            partitions: 2,
+            ..Default::default()
+        };
         let driver = AlexDriver::new(&left, &right, &links, cfg).unwrap();
         assert_eq!(driver.total_possible_pairs(), 8 * 8);
-        assert!(driver.filtered_space_size() >= 8, "true pairs survive the filter");
+        assert!(
+            driver.filtered_space_size() >= 8,
+            "true pairs survive the filter"
+        );
         assert!(driver.filtered_space_size() <= driver.total_possible_pairs());
     }
 
     #[test]
     fn step_runs_one_episode_and_diagnostics_track_it() {
         let (left, right, truth, links) = world(10);
-        let cfg = AlexConfig { partitions: 2, episode_size: 30, ..Default::default() };
+        let cfg = AlexConfig {
+            partitions: 2,
+            episode_size: 30,
+            ..Default::default()
+        };
         let mut driver = AlexDriver::new(&left, &right, &links[..3], cfg).unwrap();
         let d0 = driver.diagnostics();
         assert_eq!(d0.candidates, 3);
@@ -562,7 +652,10 @@ mod tests {
         assert!(stats.feedback_items > 0);
         assert!(stats.feedback_items <= 30);
         let d1 = driver.diagnostics();
-        assert!(d1.candidates >= d0.candidates, "exploration should not shrink a clean set");
+        assert!(
+            d1.candidates >= d0.candidates,
+            "exploration should not shrink a clean set"
+        );
         // Stepping twice more keeps making progress without panicking.
         driver.step(&oracle);
         driver.step(&oracle);
@@ -571,11 +664,65 @@ mod tests {
     }
 
     #[test]
+    fn interactive_feedback_is_routed_and_episode_aggregated() {
+        let (left, right, _, links) = world(9);
+        let cfg = AlexConfig {
+            partitions: 3,
+            epsilon: 0.0,
+            ..Default::default()
+        };
+        let mut driver = AlexDriver::new(&left, &right, &links[..3], cfg).unwrap();
+        let before = driver.candidate_links();
+        assert!(before.contains(&links[0]));
+
+        // Reject one link, approve another; feedback lands on different
+        // partitions (round-robin ownership) and must still take effect.
+        driver.process_feedback(links[0], false);
+        driver.process_feedback(links[1], true);
+        let stats = driver.end_episode();
+        assert_eq!(stats.feedback_items, 2);
+        assert_eq!(stats.negative_feedback, 1);
+
+        let after = driver.candidate_links();
+        assert!(!after.contains(&links[0]), "rejected link is removed");
+        assert!(after.contains(&links[1]), "approved link stays");
+        // Exploration around the approved (identical-name) link discovers
+        // more pairs, so the set grows despite the removal.
+        assert!(
+            stats.links_added > 0,
+            "approval triggers exploration: {stats:?}"
+        );
+
+        // A second end_episode with no feedback in between is a no-op.
+        let idle = driver.end_episode();
+        assert_eq!(idle, PartitionEpisodeStats::default());
+    }
+
+    #[test]
+    fn feedback_on_foreign_link_is_graceful() {
+        let (left, right, _, links) = world(4);
+        let cfg = AlexConfig {
+            partitions: 2,
+            ..Default::default()
+        };
+        let mut driver = AlexDriver::new(&left, &right, &links, cfg).unwrap();
+        // A link whose left entity the left dataset never saw: routed to
+        // partition 0, processed without panicking.
+        let foreign = Link::new(alex_rdf::IriId(alex_rdf::StrId(u32::MAX)), links[0].right);
+        driver.process_feedback(foreign, false);
+        let stats = driver.end_episode();
+        assert_eq!(stats.feedback_items, 1);
+    }
+
+    #[test]
     fn stop_at_relaxed_halts_earlier_or_equal() {
         let (left, right, truth, links) = world(20);
         let initial: Vec<Link> = links.iter().take(5).copied().collect();
         let strict_cfg = small_cfg();
-        let relaxed_cfg = AlexConfig { stop_at_relaxed: true, ..small_cfg() };
+        let relaxed_cfg = AlexConfig {
+            stop_at_relaxed: true,
+            ..small_cfg()
+        };
         let oracle = ExactOracle::new(truth.clone());
         let mut d1 = AlexDriver::new(&left, &right, &initial, strict_cfg).unwrap();
         let out1 = d1.run(&oracle, &truth);

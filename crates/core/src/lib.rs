@@ -71,6 +71,7 @@ mod partition;
 mod policy;
 mod session;
 mod space;
+pub mod telemetry;
 
 pub use candidates::CandidateSet;
 pub use config::AlexConfig;
@@ -81,5 +82,5 @@ pub use metrics::{EpisodeReport, Quality};
 pub use oracle::{ExactOracle, FeedbackOracle, NoisyOracle, ReluctantOracle};
 pub use partition::{partition_of, round_robin};
 pub use policy::{Policy, QTable, StateAction};
-pub use session::{SessionError, SessionSnapshot, SNAPSHOT_VERSION};
+pub use session::{LiveSession, SessionError, SessionHandle, SessionSnapshot, SNAPSHOT_VERSION};
 pub use space::{ExplorationSpace, DEFAULT_MAX_BLOCK};

@@ -13,7 +13,10 @@
 //! representation details. (The paper's system makes the same trade — its
 //! convergence state is the candidate link set.)
 
+use std::sync::Arc;
+
 use alex_rdf::{Link, Store};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use serde::{Deserialize, Serialize};
 
 use crate::config::AlexConfig;
@@ -48,7 +51,10 @@ impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SessionError::UnsupportedVersion(v) => {
-                write!(f, "snapshot version {v} is not supported (max {SNAPSHOT_VERSION})")
+                write!(
+                    f,
+                    "snapshot version {v} is not supported (max {SNAPSHOT_VERSION})"
+                )
             }
             SessionError::Serde(m) => write!(f, "snapshot serialization error: {m}"),
         }
@@ -64,14 +70,24 @@ impl SessionSnapshot {
         let mut candidates: Vec<(String, String)> = driver
             .candidate_links()
             .into_iter()
-            .map(|l| (left.iri_str(l.left).to_string(), right.iri_str(l.right).to_string()))
+            .map(|l| {
+                (
+                    left.iri_str(l.left).to_string(),
+                    right.iri_str(l.right).to_string(),
+                )
+            })
             .collect();
         candidates.sort();
         let mut blacklist: Vec<(String, String)> = driver
             .engines()
             .iter()
             .flat_map(|e| e.blacklist().iter())
-            .map(|l| (left.iri_str(l.left).to_string(), right.iri_str(l.right).to_string()))
+            .map(|l| {
+                (
+                    left.iri_str(l.left).to_string(),
+                    right.iri_str(l.right).to_string(),
+                )
+            })
             .collect();
         blacklist.sort();
         blacklist.dedup();
@@ -118,6 +134,70 @@ impl SessionSnapshot {
     }
 }
 
+/// One interactively curated session: the loaded dataset pair, the driver
+/// exploring links between them, and running counters for reporting.
+///
+/// This is the unit a server holds per user session (Figure 1's loop as a
+/// long-lived object); wrap it in a [`SessionHandle`] for concurrent use.
+pub struct LiveSession {
+    /// The left dataset (the one the driver partitions).
+    pub left: Store,
+    /// The right dataset.
+    pub right: Store,
+    /// The curation driver.
+    pub driver: AlexDriver,
+    /// Feedback episodes completed so far.
+    pub episodes: u64,
+    /// Total feedback items processed across episodes.
+    pub feedback_items: u64,
+}
+
+impl LiveSession {
+    /// Wraps a freshly built driver and its datasets.
+    pub fn new(left: Store, right: Store, driver: AlexDriver) -> Self {
+        Self {
+            left,
+            right,
+            driver,
+            episodes: 0,
+            feedback_items: 0,
+        }
+    }
+
+    /// Captures a persistable snapshot of the current curation state.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot::capture(&self.driver, &self.left, &self.right)
+    }
+}
+
+/// A cloneable, thread-safe handle to a [`LiveSession`].
+///
+/// Queries only need shared access (the federated engine borrows the
+/// stores and the current candidate set), so many can run concurrently;
+/// feedback mutates the driver and takes the write lock. `parking_lot`'s
+/// lock is used for its fairness under the reader-heavy pattern and
+/// because it cannot poison: a panicking handler thread must not wedge
+/// every later request on the same session.
+#[derive(Clone)]
+pub struct SessionHandle(Arc<RwLock<LiveSession>>);
+
+impl SessionHandle {
+    /// Wraps a session for shared use.
+    pub fn new(session: LiveSession) -> Self {
+        Self(Arc::new(RwLock::new(session)))
+    }
+
+    /// Shared (read) access — concurrent queries.
+    pub fn read(&self) -> RwLockReadGuard<'_, LiveSession> {
+        self.0.read()
+    }
+
+    /// Exclusive (write) access — feedback and curation steps.
+    pub fn write(&self) -> RwLockWriteGuard<'_, LiveSession> {
+        self.0.write()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,7 +224,12 @@ mod tests {
     }
 
     fn small_cfg() -> AlexConfig {
-        AlexConfig { episode_size: 20, partitions: 2, max_episodes: 5, ..Default::default() }
+        AlexConfig {
+            episode_size: 20,
+            partitions: 2,
+            max_episodes: 5,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -176,6 +261,56 @@ mod tests {
     }
 
     #[test]
+    fn session_handle_interleaves_readers_and_feedback() {
+        let (left, right, truth) = world();
+        let initial: Vec<Link> = truth.iter().take(4).copied().collect();
+        let cfg = AlexConfig {
+            partitions: 2,
+            epsilon: 0.0,
+            ..small_cfg()
+        };
+        let driver = AlexDriver::new(&left, &right, &initial, cfg).unwrap();
+        let handle = SessionHandle::new(LiveSession::new(left, right, driver));
+
+        let wrong = {
+            let mut it = initial.iter();
+            let a = *it.next().unwrap();
+            let b = *it.next().unwrap();
+            Link::new(a.left, b.right)
+        };
+        std::thread::scope(|s| {
+            // Concurrent readers querying candidate links...
+            for _ in 0..3 {
+                let h = handle.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let g = h.read();
+                        let _ = g.driver.candidate_links();
+                    }
+                });
+            }
+            // ...while a writer applies feedback.
+            let h = handle.clone();
+            s.spawn(move || {
+                let mut g = h.write();
+                g.driver.process_feedback(wrong, false);
+                g.driver.end_episode();
+                g.episodes += 1;
+                g.feedback_items += 1;
+            });
+        });
+
+        let g = handle.read();
+        assert_eq!(g.episodes, 1);
+        assert!(!g.driver.candidate_links().contains(&wrong));
+        // The snapshot captured through the handle matches a direct capture.
+        assert_eq!(
+            g.snapshot(),
+            SessionSnapshot::capture(&g.driver, &g.left, &g.right)
+        );
+    }
+
+    #[test]
     fn restored_blacklist_blocks_rediscovery() {
         let (left, right, truth) = world();
         let wrong = {
@@ -199,7 +334,10 @@ mod tests {
         let mut restored = snap.restore(&left, &right).unwrap();
         let oracle = ExactOracle::new(truth.clone());
         let out = restored.run(&oracle, &truth);
-        assert!(!out.final_links.contains(&wrong), "blacklisted link must not return");
+        assert!(
+            !out.final_links.contains(&wrong),
+            "blacklisted link must not return"
+        );
         let _ = driver; // silence unused-mut path on some toolchains
     }
 

@@ -1,0 +1,429 @@
+//! A minimal HTTP/1.1 implementation over blocking sockets.
+//!
+//! Hand-rolled on purpose: the curation API needs exactly request parsing,
+//! keep-alive, timeouts, and response framing — no TLS, no chunked bodies,
+//! no routing DSL — and the build environment is offline, so the server
+//! stands on `std::net` alone.
+//!
+//! Limits are fixed and small (the API exchanges short JSON documents):
+//! 32 KiB of headers, 16 MiB of body. Requests with larger framing are
+//! rejected before the body is read.
+
+use std::io::{self, BufRead, Write};
+
+use serde_json::Value;
+
+/// Maximum accepted size of the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 32 * 1024;
+/// Maximum accepted `Content-Length`.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method, e.g. `GET`.
+    pub method: String,
+    /// Request path without the query string.
+    pub path: String,
+    /// Raw query string (after `?`), if any.
+    pub query: Option<String>,
+    /// `true` for `HTTP/1.1`, `false` for `HTTP/1.0`.
+    pub http11: bool,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (may be empty).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after responding:
+    /// HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close, and an explicit
+    /// `Connection` header overrides either.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection").map(|v| v.to_ascii_lowercase()) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+
+    /// The body parsed as a JSON value, or a human-readable error.
+    pub fn json_body(&self) -> Result<Value, String> {
+        let text = std::str::from_utf8(&self.body).map_err(|_| "body is not UTF-8".to_string())?;
+        if text.trim().is_empty() {
+            return Err("empty body (expected a JSON object)".into());
+        }
+        serde_json::parse_value_str(text).map_err(|e| format!("invalid JSON body: {e}"))
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection cleanly before sending anything —
+    /// the normal end of a keep-alive connection.
+    Closed,
+    /// The socket read timed out. `started` tells whether any bytes of a
+    /// request had arrived (→ 408) or the connection was merely idle.
+    Timeout {
+        /// Whether a partial request had started arriving.
+        started: bool,
+    },
+    /// Request line or headers were syntactically invalid.
+    Malformed(String),
+    /// Head or declared body exceeded the fixed limits.
+    TooLarge(&'static str),
+    /// Any other socket error.
+    Io(io::Error),
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request from `reader` (a buffered socket with a read
+/// timeout installed). Blocks until a full request, EOF, or timeout.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    let mut head = Vec::new();
+    // Request line.
+    let first = read_line(reader, &mut head, false)?;
+    let (method, path_q, http11) = parse_request_line(&first)?;
+
+    // Headers until the blank line.
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, &mut head, true)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without ':': {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Body, if Content-Length says so. Chunked encoding is not supported.
+    let mut body = Vec::new();
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| HttpError::Malformed("Content-Length is not a number".into()))?;
+    if headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.contains("chunked"))
+    {
+        return Err(HttpError::Malformed(
+            "chunked transfer encoding is not supported".into(),
+        ));
+    }
+    if let Some(len) = content_length {
+        if len > MAX_BODY_BYTES {
+            return Err(HttpError::TooLarge("body"));
+        }
+        body.resize(len, 0);
+        let mut filled = 0;
+        while filled < len {
+            match reader.read(&mut body[filled..]) {
+                Ok(0) => {
+                    return Err(HttpError::Malformed(
+                        "body shorter than Content-Length".into(),
+                    ))
+                }
+                Ok(n) => filled += n,
+                Err(e) if is_timeout(&e) => return Err(HttpError::Timeout { started: true }),
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        }
+    }
+
+    let (path, query) = match path_q.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (path_q, None),
+    };
+    Ok(Request {
+        method,
+        path,
+        query,
+        http11,
+        headers,
+        body,
+    })
+}
+
+/// Reads one CRLF-terminated line, appending raw bytes to `head` for the
+/// size cap. `started` is whether earlier request bytes already arrived
+/// (distinguishes idle-timeout from mid-request timeout, and clean close
+/// from truncation).
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    head: &mut Vec<u8>,
+    started: bool,
+) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    match reader.read_until(b'\n', &mut line) {
+        Ok(0) => {
+            if started || !head.is_empty() {
+                Err(HttpError::Malformed("unexpected end of stream".into()))
+            } else {
+                Err(HttpError::Closed)
+            }
+        }
+        Ok(_) => {
+            head.extend_from_slice(&line);
+            if head.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::TooLarge("headers"));
+            }
+            while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            String::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 header".into()))
+        }
+        Err(e) if is_timeout(&e) => Err(HttpError::Timeout {
+            started: started || !head.is_empty(),
+        }),
+        Err(e) => Err(HttpError::Io(e)),
+    }
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String, bool), HttpError> {
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed(format!("bad request line: {line:?}")));
+    };
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Err(HttpError::Malformed(format!(
+                "unsupported version {other:?}"
+            )))
+        }
+    };
+    if !path.starts_with('/') {
+        return Err(HttpError::Malformed(format!("bad path: {path:?}")));
+    }
+    Ok((method.to_ascii_uppercase(), path.to_string(), http11))
+}
+
+/// One response ready to be framed onto the wire.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Forces `Connection: close` regardless of the request's preference.
+    pub close: bool,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// An `application/json` response from a value tree.
+    pub fn json(status: u16, value: &Value) -> Self {
+        let mut body = value.to_json_string(false);
+        body.push('\n');
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            close: false,
+        }
+    }
+
+    /// A JSON error envelope: `{"error": message}`.
+    pub fn error(status: u16, message: impl Into<String>) -> Self {
+        Response::json(
+            status,
+            &Value::Object(vec![("error".into(), Value::String(message.into()))]),
+        )
+    }
+
+    /// Standard reason phrase for the status codes this server emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Writes the full response. `keep_alive` decides the `Connection`
+    /// header (overridden by [`Response::close`]).
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        let keep = keep_alive && !self.close;
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            Self::reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep { "keep-alive" } else { "close" },
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let req =
+            parse("GET /sessions/s1/links?limit=5 HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n")
+                .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/sessions/s1/links");
+        assert_eq!(req.query.as_deref(), Some("limit=5"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.wants_keep_alive(), "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let req =
+            parse("POST /sessions HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"a\": true}").unwrap();
+        assert_eq!(req.body, b"{\"a\": true}");
+        assert_eq!(
+            req.json_body().unwrap().get("a").unwrap().as_bool(),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn connection_header_overrides_default() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.wants_keep_alive());
+        let req = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.wants_keep_alive());
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.wants_keep_alive(), "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(matches!(
+            parse("NOT-HTTP\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET x HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/2\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        // Truncated body.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_not_error() {
+        assert!(matches!(parse(""), Err(HttpError::Closed)));
+        // EOF mid-request is truncation, not a clean close.
+        assert!(matches!(parse("GET / HT"), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn oversized_declarations_are_refused() {
+        let big = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&big), Err(HttpError::TooLarge("body"))));
+        let huge_header = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(
+            parse(&huge_header),
+            Err(HttpError::TooLarge("headers"))
+        ));
+    }
+
+    #[test]
+    fn response_framing_is_complete() {
+        let mut out = Vec::new();
+        Response::text(200, "ok\n")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+
+        let mut out = Vec::new();
+        Response::error(503, "queue full")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.ends_with("{\"error\":\"queue full\"}\n"));
+    }
+
+    #[test]
+    fn forced_close_wins_over_keep_alive() {
+        let mut resp = Response::text(200, "bye");
+        resp.close = true;
+        let mut out = Vec::new();
+        resp.write_to(&mut out, true).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("Connection: close\r\n"));
+    }
+}

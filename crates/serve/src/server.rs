@@ -1,0 +1,293 @@
+//! The TCP server: acceptor, bounded worker pool, graceful shutdown.
+//!
+//! Architecture (one paragraph): a single acceptor thread owns the
+//! listener in non-blocking mode and polls it alongside the shutdown
+//! flag; accepted connections are `try_send`-ed into a bounded crossbeam
+//! channel. A fixed pool of worker threads receives connections and runs
+//! each one's full keep-alive loop (parse → route → respond). When the
+//! queue is full the acceptor answers `503 Service Unavailable` inline
+//! and closes — backpressure is explicit and immediate, never an unbounded
+//! backlog. Shutdown sets the flag, joins the acceptor, drops the sender
+//! (workers drain what was already queued, then exit), joins the workers,
+//! and finally snapshots every session to the state directory.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+
+use crate::api;
+use crate::http::{read_request, HttpError, Response};
+use crate::state::AppState;
+
+/// How the server should run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded connection-queue depth; beyond it new connections get 503.
+    pub queue_depth: usize,
+    /// Per-connection socket read/write timeout.
+    pub request_timeout: Duration,
+    /// Where shutdown persists session snapshots (`session-<id>.json`).
+    pub state_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            workers: 4,
+            queue_depth: 64,
+            request_timeout: Duration::from_secs(10),
+            state_dir: None,
+        }
+    }
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// detaches the threads (the process exit will reap them); call
+/// `shutdown` for the graceful path.
+pub struct Server {
+    local_addr: SocketAddr,
+    state: Arc<AppState>,
+    shutdown: Arc<AtomicBool>,
+    sender: Option<Sender<TcpStream>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts accepting. Returns once the listener is live.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(AppState::new(cfg.state_dir.clone()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) =
+            channel::bounded(cfg.queue_depth.max(1));
+
+        let workers: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
+            .map(|i| {
+                let rx = rx.clone();
+                let state = Arc::clone(&state);
+                let shutdown = Arc::clone(&shutdown);
+                let timeout = cfg.request_timeout;
+                std::thread::Builder::new()
+                    .name(format!("alex-serve-worker-{i}"))
+                    .spawn(move || worker_loop(rx, state, shutdown, timeout))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+
+        let acceptor = {
+            let tx = tx.clone();
+            let state = Arc::clone(&state);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("alex-serve-acceptor".into())
+                .spawn(move || acceptor_loop(listener, tx, state, shutdown))
+                .expect("spawning acceptor thread")
+        };
+
+        Ok(Server {
+            local_addr,
+            state,
+            shutdown,
+            sender: Some(tx),
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The actually bound address (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared application state (sessions, metrics).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Gracefully stops: no new connections, in-flight and queued
+    /// requests finish, then every session is snapshotted to the state
+    /// directory. Returns the snapshot files written (empty without a
+    /// state dir).
+    pub fn shutdown(mut self) -> Vec<Result<PathBuf, String>> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // All senders dropped → workers drain the queue and exit.
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.state.persist_sessions()
+    }
+}
+
+/// Poll interval for the non-blocking accept loop; bounds shutdown
+/// latency without burning CPU.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+fn acceptor_loop(
+    listener: TcpListener,
+    tx: Sender<TcpStream>,
+    state: Arc<AppState>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let queue_gauge = state.metrics.gauge("alex_queue_depth");
+    let conns = state.metrics.counter("alex_connections_total");
+    let rejected = state.metrics.counter("alex_connections_rejected_total");
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                conns.inc();
+                match tx.try_send(stream) {
+                    Ok(()) => queue_gauge.set(tx.len() as i64),
+                    Err(TrySendError::Full(stream)) => {
+                        rejected.inc();
+                        state
+                            .metrics
+                            .counter(
+                                "alex_http_requests_total{route=\"(rejected)\",status=\"503\"}",
+                            )
+                            .inc();
+                        // Off-thread so a slow peer can't stall accepting;
+                        // bounded to ~2s of socket timeouts per rejection.
+                        let _ = std::thread::Builder::new()
+                            .name("alex-serve-reject".into())
+                            .spawn(move || reject_connection(stream));
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Writes a `503` to a connection the queue couldn't take, then
+/// half-closes and drains whatever the client already sent. Dropping the
+/// socket with unread bytes in the receive buffer would make the kernel
+/// answer with RST, which can destroy the 503 before the client reads it;
+/// the drain turns the close into an orderly FIN.
+fn reject_connection(mut stream: TcpStream) {
+    let resp = Response::error(503, "server saturated: connection queue is full");
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    if resp.write_to(&mut stream, false).is_err() {
+        return;
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+    let mut sink = [0u8; 512];
+    while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
+}
+
+fn worker_loop(
+    rx: Receiver<TcpStream>,
+    state: Arc<AppState>,
+    shutdown: Arc<AtomicBool>,
+    timeout: Duration,
+) {
+    while let Ok(stream) = rx.recv() {
+        state.metrics.gauge("alex_queue_depth").set(rx.len() as i64);
+        handle_connection(stream, &state, &shutdown, timeout);
+    }
+}
+
+/// Runs one connection's keep-alive loop until close, error, timeout, or
+/// server shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    state: &AppState,
+    shutdown: &AtomicBool,
+    timeout: Duration,
+) {
+    if stream.set_read_timeout(Some(timeout)).is_err()
+        || stream.set_write_timeout(Some(timeout)).is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+
+    loop {
+        match read_request(&mut reader) {
+            Ok(req) => {
+                let started = Instant::now();
+                let (route_label, resp) = api::route(state, &req);
+                // During shutdown, finish this response but don't linger
+                // for another request on the connection.
+                let keep =
+                    req.wants_keep_alive() && !resp.close && !shutdown.load(Ordering::SeqCst);
+                let elapsed = started.elapsed().as_secs_f64();
+                state
+                    .metrics
+                    .counter(&format!(
+                        "alex_http_requests_total{{route=\"{route_label}\",status=\"{}\"}}",
+                        resp.status
+                    ))
+                    .inc();
+                state
+                    .metrics
+                    .histogram(&format!(
+                        "alex_http_request_seconds{{route=\"{route_label}\"}}"
+                    ))
+                    .record(elapsed);
+                if resp.write_to(&mut writer, keep).is_err() || !keep {
+                    break;
+                }
+            }
+            Err(HttpError::Closed) => break,
+            Err(HttpError::Timeout { started }) => {
+                if started {
+                    count_error(state, 408);
+                    let _ = Response::error(408, "timed out reading request")
+                        .write_to(&mut writer, false);
+                }
+                break;
+            }
+            Err(HttpError::TooLarge(what)) => {
+                count_error(state, 413);
+                let _ =
+                    Response::error(413, format!("{what} too large")).write_to(&mut writer, false);
+                break;
+            }
+            Err(HttpError::Malformed(m)) => {
+                count_error(state, 400);
+                let _ = Response::error(400, format!("malformed request: {m}"))
+                    .write_to(&mut writer, false);
+                break;
+            }
+            Err(HttpError::Io(_)) => break,
+        }
+        let _ = writer.flush();
+    }
+}
+
+fn count_error(state: &AppState, status: u16) {
+    state
+        .metrics
+        .counter(&format!(
+            "alex_http_requests_total{{route=\"(protocol)\",status=\"{status}\"}}"
+        ))
+        .inc();
+}

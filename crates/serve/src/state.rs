@@ -1,0 +1,93 @@
+//! Shared server state: the session table and the metrics registry.
+
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use alex_core::telemetry::MetricsRegistry;
+use alex_core::SessionHandle;
+use alex_rdf::Link;
+use parking_lot::RwLock;
+
+/// One server-side session: the shared curation handle plus optional
+/// ground-truth links (when the client supplied them at creation time,
+/// precision/recall gauges are updated after every feedback episode).
+pub struct SessionEntry {
+    /// The thread-safe curation session.
+    pub handle: SessionHandle,
+    /// Optional ground truth for quality gauges.
+    pub truth: Option<HashSet<Link>>,
+}
+
+/// State shared by every worker thread.
+pub struct AppState {
+    /// Session id → entry. The map lock is held only to look up or insert
+    /// a handle; per-session work happens under the session's own lock.
+    pub sessions: RwLock<HashMap<String, SessionEntry>>,
+    /// Process-wide metrics, served at `GET /metrics`.
+    pub metrics: MetricsRegistry,
+    /// Where shutdown persists session snapshots, if anywhere.
+    pub state_dir: Option<PathBuf>,
+    next_id: AtomicU64,
+}
+
+impl AppState {
+    /// Fresh state with an empty session table.
+    pub fn new(state_dir: Option<PathBuf>) -> Self {
+        AppState {
+            sessions: RwLock::new(HashMap::new()),
+            metrics: MetricsRegistry::new(),
+            state_dir,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Allocates the next session id (`s1`, `s2`, …).
+    pub fn fresh_id(&self) -> String {
+        format!("s{}", self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Snapshots every session to `state_dir/session-<id>.json` (the raw
+    /// [`alex_core::SessionSnapshot`] JSON, restorable with
+    /// `SessionSnapshot::from_json(...).restore(...)`). Returns the files
+    /// written; empty when no `state_dir` is configured. Errors are
+    /// reported per file rather than aborting the remaining sessions.
+    pub fn persist_sessions(&self) -> Vec<Result<PathBuf, String>> {
+        let Some(dir) = &self.state_dir else {
+            return Vec::new();
+        };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            return vec![Err(format!("creating {}: {e}", dir.display()))];
+        }
+        let sessions = self.sessions.read();
+        let mut ids: Vec<&String> = sessions.keys().collect();
+        ids.sort();
+        ids.into_iter()
+            .map(|id| {
+                let path = dir.join(format!("session-{id}.json"));
+                let json = sessions[id].handle.read().snapshot().to_json();
+                std::fs::write(&path, json)
+                    .map(|_| path.clone())
+                    .map_err(|e| format!("writing {}: {e}", path.display()))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_sequential() {
+        let state = AppState::new(None);
+        assert_eq!(state.fresh_id(), "s1");
+        assert_eq!(state.fresh_id(), "s2");
+    }
+
+    #[test]
+    fn persist_without_state_dir_is_empty() {
+        let state = AppState::new(None);
+        assert!(state.persist_sessions().is_empty());
+    }
+}

@@ -11,6 +11,7 @@
 //! | [`paris`] | `alex-paris` | the PARIS automatic linker (initial candidate links) |
 //! | [`query`] | `alex-query` | SPARQL-subset + federated engine with link provenance |
 //! | [`datagen`] | `alex-datagen` | synthetic dataset pairs mirroring the paper's Table 1 |
+//! | [`serve`] | `alex-serve` | HTTP curation server: sessions, federated queries, answer feedback |
 //! | (root) | `alex-core` | the reinforcement-learning link explorer itself |
 //!
 //! ## The pipeline in one page
@@ -44,6 +45,7 @@ pub use alex_datagen as datagen;
 pub use alex_paris as paris;
 pub use alex_query as query;
 pub use alex_rdf as rdf;
+pub use alex_serve as serve;
 pub use alex_sim as sim;
 
 pub use alex_core::{

@@ -1,0 +1,423 @@
+//! End-to-end tests for `alex-serve` over real TCP sockets: the Figure-1
+//! loop (query → answer feedback → link change) through the HTTP API,
+//! saturation backpressure (503), request timeouts (408), and graceful
+//! shutdown persisting restorable session snapshots.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use alex::serve::{ServeConfig, Server};
+use alex_core::SessionSnapshot;
+use alex_rdf::{ntriples, Interner, Store};
+use serde_json::Value;
+
+/// Sends one HTTP/1.1 request on a fresh connection and returns
+/// `(status, parsed JSON body)`. Plain-text bodies come back as
+/// `Value::String`.
+fn http(addr: &str, method: &str, path: &str, body: Option<&Value>) -> (u16, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let body_text = body.map(|v| v.to_json_string(false)).unwrap_or_default();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body_text}",
+        body_text.len()
+    )
+    .expect("send request");
+    read_response(&mut stream)
+}
+
+/// Reads a full `Connection: close` response from `stream`.
+fn read_response(stream: &mut TcpStream) -> (u16, Value) {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {text:?}"));
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    let value =
+        serde_json::parse_value_str(body).unwrap_or_else(|_| Value::String(body.to_string()));
+    (status, value)
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn s(text: &str) -> Value {
+    Value::String(text.into())
+}
+
+fn pair(l: &str, r: &str) -> Value {
+    Value::Array(vec![s(l), s(r)])
+}
+
+/// The paper's motivating example as inline N-Triples: four NBA players
+/// in a DBpedia-like source, their namesakes plus one article each in a
+/// NYTimes-like source, and the 2013 MVP award on player 0.
+fn figure1_world() -> (String, String) {
+    let players = ["LeBron James", "Kobe Bryant", "Tim Duncan", "Kevin Durant"];
+    let mut left = String::new();
+    let mut right = String::new();
+    for (i, name) in players.iter().enumerate() {
+        left.push_str(&format!(
+            "<http://db/player{i}> <http://db/name> \"{name}\" .\n"
+        ));
+        right.push_str(&format!(
+            "<http://ny/person{i}> <http://ny/fullName> \"{name}\" .\n"
+        ));
+        right.push_str(&format!(
+            "<http://ny/article{i}> <http://ny/about> <http://ny/person{i}> .\n"
+        ));
+    }
+    left.push_str("<http://db/player0> <http://db/award> <http://db/NBA_MVP_2013> .\n");
+    (left, right)
+}
+
+fn start(cfg: ServeConfig) -> (Server, String) {
+    let server = Server::start(cfg).expect("server starts");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn local(overrides: impl FnOnce(&mut ServeConfig)) -> ServeConfig {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    };
+    overrides(&mut cfg);
+    cfg
+}
+
+/// Creates the Figure-1 session (one correct link, one wrong link) and
+/// returns its id.
+fn create_session(addr: &str) -> String {
+    let (left, right) = figure1_world();
+    let body = obj(vec![
+        ("left_data", s(&left)),
+        ("right_data", s(&right)),
+        (
+            "links",
+            Value::Array(vec![
+                pair("http://db/player0", "http://ny/person0"), // correct
+                pair("http://db/player0", "http://ny/person1"), // wrong (LeBron = Kobe)
+            ]),
+        ),
+        (
+            "config",
+            obj(vec![
+                ("partitions", Value::Number(serde_json::Number::U64(1))),
+                ("epsilon", Value::Number(serde_json::Number::F64(0.0))),
+                ("seed", Value::Number(serde_json::Number::U64(7))),
+            ]),
+        ),
+    ]);
+    let (status, v) = http(addr, "POST", "/sessions", Some(&body));
+    assert_eq!(status, 201, "session create failed: {v:?}");
+    assert_eq!(v.get("candidates").unwrap().as_u64(), Some(2));
+    v.get("id").unwrap().as_str().unwrap().to_string()
+}
+
+const MVP_QUERY: &str = "SELECT ?article WHERE { \
+    ?player <http://db/award> <http://db/NBA_MVP_2013> . \
+    ?article <http://ny/about> ?player }";
+
+fn run_query(addr: &str, id: &str) -> Vec<(String, Vec<(String, String)>)> {
+    let (status, v) = http(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/query"),
+        Some(&obj(vec![("query", s(MVP_QUERY))])),
+    );
+    assert_eq!(status, 200, "query failed: {v:?}");
+    v.get("answers")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|a| {
+            let row = a.get("row").unwrap().as_array().unwrap();
+            let article = row[0].get("value").unwrap().as_str().unwrap().to_string();
+            let links = a
+                .get("links")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|p| {
+                    let p = p.as_array().unwrap();
+                    (
+                        p[0].as_str().unwrap().to_string(),
+                        p[1].as_str().unwrap().to_string(),
+                    )
+                })
+                .collect();
+            (article, links)
+        })
+        .collect()
+}
+
+#[test]
+fn figure1_loop_over_tcp_query_feedback_link_change() {
+    let (server, addr) = start(local(|_| {}));
+
+    let (status, v) = http(&addr, "GET", "/healthz", None);
+    assert_eq!((status, v), (200, Value::String("ok\n".into())));
+
+    let id = create_session(&addr);
+
+    // Both links produce an answer: the correct and the wrong article.
+    let answers = run_query(&addr, &id);
+    assert_eq!(
+        answers.len(),
+        2,
+        "correct + wrong link each answer: {answers:?}"
+    );
+    assert!(
+        answers.iter().all(|(_, links)| !links.is_empty()),
+        "answers carry provenance"
+    );
+
+    // The user marks article0 correct, everything else wrong — exactly
+    // the provenance links the answers reported.
+    let items: Vec<Value> = answers
+        .iter()
+        .flat_map(|(article, links)| {
+            let approve = article.ends_with("article0");
+            links.iter().map(move |(l, r)| {
+                obj(vec![
+                    ("left", s(l)),
+                    ("right", s(r)),
+                    ("approve", Value::Bool(approve)),
+                ])
+            })
+        })
+        .collect();
+    let (status, v) = http(
+        &addr,
+        "POST",
+        &format!("/sessions/{id}/feedback"),
+        Some(&obj(vec![("items", Value::Array(items))])),
+    );
+    assert_eq!(status, 200, "feedback failed: {v:?}");
+    assert!(
+        v.get("links_removed").unwrap().as_u64().unwrap() >= 1,
+        "{v:?}"
+    );
+    // Positive feedback explores around LeBron=LeBron and discovers the
+    // other identically-named players.
+    assert!(
+        v.get("links_added").unwrap().as_u64().unwrap() >= 3,
+        "{v:?}"
+    );
+
+    // The wrong link is gone from the candidate list.
+    let (status, v) = http(&addr, "GET", &format!("/sessions/{id}/links"), None);
+    assert_eq!(status, 200);
+    let links: Vec<(String, String)> = v
+        .get("links")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|p| {
+            let p = p.as_array().unwrap();
+            (
+                p[0].as_str().unwrap().to_string(),
+                p[1].as_str().unwrap().to_string(),
+            )
+        })
+        .collect();
+    assert!(links.contains(&("http://db/player0".into(), "http://ny/person0".into())));
+    assert!(!links.contains(&("http://db/player0".into(), "http://ny/person1".into())));
+
+    // Re-running the query yields only the correct article.
+    let answers = run_query(&addr, &id);
+    assert!(
+        answers
+            .iter()
+            .all(|(article, _)| article.ends_with("article0")),
+        "wrong answers remain: {answers:?}"
+    );
+
+    // Metrics saw the traffic.
+    let (status, v) = http(&addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    let Value::String(text) = v else {
+        panic!("metrics is text")
+    };
+    assert!(text.contains("alex_sessions_created_total 1"), "{text}");
+    assert!(text.contains("alex_queries_total 2"));
+    assert!(text.contains("alex_feedback_items_total 2"));
+    assert!(
+        text.contains("alex_http_requests_total{route=\"/sessions/{id}/query\",status=\"200\"} 2"),
+        "{text}"
+    );
+    assert!(text
+        .contains("alex_http_request_seconds{route=\"/sessions/{id}/query\",quantile=\"0.99\"}"));
+    assert!(text.contains("alex_connections_total"));
+
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_on_one_connection() {
+    let (server, addr) = start(local(|_| {}));
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    for i in 0..3 {
+        write!(stream, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        // Read exactly one response (headers + 3-byte body "ok\n").
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        while !buf.ends_with(b"\r\n\r\nok\n") {
+            let n = stream.read(&mut byte).unwrap();
+            assert!(n > 0, "connection closed early on request {i}");
+            buf.push(byte[0]);
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+        assert!(text.contains("Connection: keep-alive"), "{text}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn saturated_queue_answers_503_and_stalled_requests_408() {
+    // One worker, queue of one: a stalled connection occupies the worker,
+    // a second fills the queue, the third must be rejected immediately.
+    let (server, addr) = start(local(|cfg| {
+        cfg.workers = 1;
+        cfg.queue_depth = 1;
+        cfg.request_timeout = Duration::from_millis(600);
+    }));
+
+    let mut stalled_busy = TcpStream::connect(&addr).unwrap();
+    write!(stalled_busy, "POST /sessions HTTP/1.1\r\n").unwrap(); // never finished
+    std::thread::sleep(Duration::from_millis(150)); // worker picks it up
+    let mut stalled_queued = TcpStream::connect(&addr).unwrap();
+    write!(stalled_queued, "POST /sessions HTTP/1.1\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(150)); // sits in the queue
+
+    let (status, v) = http(&addr, "GET", "/healthz", None);
+    assert_eq!(status, 503, "expected saturation rejection, got {v:?}");
+    let Some(error) = v.get("error").and_then(|e| e.as_str()) else {
+        panic!("503 carries an error envelope: {v:?}")
+    };
+    assert!(error.contains("saturated"), "{error}");
+
+    // The stalled in-flight request times out as a 408 and frees the
+    // worker; afterwards the server serves normally again.
+    stalled_busy
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let (status, _) = read_response(&mut stalled_busy);
+    assert_eq!(status, 408);
+    stalled_queued
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let (status, _) = read_response(&mut stalled_queued);
+    assert_eq!(status, 408);
+
+    let (status, _) = http(&addr, "GET", "/healthz", None);
+    assert_eq!(status, 200, "server recovers after drain");
+
+    let (_, v) = http(&addr, "GET", "/metrics", None);
+    let Value::String(text) = v else { panic!() };
+    assert!(text.contains("alex_connections_rejected_total 1"), "{text}");
+
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_persists_restorable_snapshots() {
+    let dir = std::env::temp_dir().join(format!("alex-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (server, addr) = start(local(|cfg| cfg.state_dir = Some(dir.clone())));
+
+    let id = create_session(&addr);
+    // One feedback episode so the persisted state differs from the input.
+    let (status, _) = http(
+        &addr,
+        "POST",
+        &format!("/sessions/{id}/feedback"),
+        Some(&obj(vec![(
+            "items",
+            Value::Array(vec![obj(vec![
+                ("left", s("http://db/player0")),
+                ("right", s("http://ny/person1")),
+                ("approve", Value::Bool(false)),
+            ])]),
+        )])),
+    );
+    assert_eq!(status, 200);
+
+    let written = server.shutdown();
+    assert_eq!(written.len(), 1);
+    let path = written[0].as_ref().expect("snapshot written").clone();
+    assert_eq!(path, dir.join(format!("session-{id}.json")));
+
+    // The server is really gone: new connections are refused.
+    assert!(
+        TcpStream::connect(&addr).is_err(),
+        "listener still accepting after shutdown"
+    );
+
+    // A fresh process can restore the snapshot against reloaded datasets.
+    let snap = SessionSnapshot::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert!(!snap
+        .candidates
+        .iter()
+        .any(|(_, r)| r == "http://ny/person1"));
+    let (left_text, right_text) = figure1_world();
+    let interner = Interner::new_shared();
+    let mut left = Store::new(interner.clone());
+    let mut right = Store::new(interner.clone());
+    ntriples::read_str(&left_text, &mut left).unwrap();
+    ntriples::read_str(&right_text, &mut right).unwrap();
+    let driver = snap.restore(&left, &right).expect("snapshot restores");
+    assert_eq!(driver.candidate_links().len(), snap.candidates.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn protocol_probes_get_clean_errors() {
+    let (server, addr) = start(local(|cfg| cfg.request_timeout = Duration::from_secs(2)));
+
+    // Garbage on the socket → 400, connection closed.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(stream, "NOT HTTP AT ALL\r\n\r\n").unwrap();
+    let (status, _) = read_response(&mut stream);
+    assert_eq!(status, 400);
+
+    // Unknown route → 404; wrong method → 405; bad JSON → 400.
+    assert_eq!(http(&addr, "GET", "/nope", None).0, 404);
+    assert_eq!(http(&addr, "DELETE", "/healthz", None).0, 405);
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    write!(
+        stream,
+        "POST /sessions HTTP/1.1\r\nContent-Length: 5\r\nConnection: close\r\n\r\n{{oop"
+    )
+    .unwrap();
+    write!(stream, "s").unwrap();
+    let (status, v) = read_response(&mut stream);
+    assert_eq!(status, 400, "{v:?}");
+
+    server.shutdown();
+}
