@@ -17,7 +17,9 @@ fn bench_parse(c: &mut Criterion) {
                   ?p db:name ?n . ?p db:year ?y . \
                   FILTER(?y >= 1950 && ?y < 1990) \
                   FILTER(CONTAINS(?n, \"an\")) } LIMIT 50";
-    c.bench_function("query_parse", |b| b.iter(|| black_box(parse(black_box(text)).unwrap())));
+    c.bench_function("query_parse", |b| {
+        b.iter(|| black_box(parse(black_box(text)).unwrap()))
+    });
 }
 
 fn bench_single_store(c: &mut Criterion) {
@@ -37,10 +39,7 @@ fn bench_single_store(c: &mut Criterion) {
 
 fn bench_federated(c: &mut Criterion) {
     let p = pair();
-    let mut fed = FederatedEngine::new(vec![
-        ("left".into(), &p.left),
-        ("right".into(), &p.right),
-    ]);
+    let mut fed = FederatedEngine::new(vec![("left".into(), &p.left), ("right".into(), &p.right)]);
     let links: Vec<Link> = p.truth.iter().copied().collect();
     fed.add_links(links);
     // Cross-source join through sameAs: left-years of entities the right

@@ -38,7 +38,11 @@ fn bench_value_similarity(c: &mut Criterion) {
             Literal::str(&interner, "LeBron James").into(),
             Literal::str(&interner, "James, LeBron").into(),
         ),
-        ("int_int", Literal::Integer(1984).into(), Literal::Integer(1985).into()),
+        (
+            "int_int",
+            Literal::Integer(1984).into(),
+            Literal::Integer(1985).into(),
+        ),
         (
             "date_date",
             Literal::Date(Date::new(1984, 12, 30).unwrap()).into(),

@@ -72,5 +72,10 @@ fn bench_feature_set_build(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_space_build, bench_explore, bench_feature_set_build);
+criterion_group!(
+    benches,
+    bench_space_build,
+    bench_explore,
+    bench_feature_set_build
+);
 criterion_main!(benches);

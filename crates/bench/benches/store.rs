@@ -35,13 +35,25 @@ fn bench_match_pattern(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("store_match");
     g.bench_function("by_subject", |b| {
-        b.iter(|| store.match_pattern(Some(black_box(subject)), None, None).count())
+        b.iter(|| {
+            store
+                .match_pattern(Some(black_box(subject)), None, None)
+                .count()
+        })
     });
     g.bench_function("by_predicate", |b| {
-        b.iter(|| store.match_pattern(None, Some(black_box(predicate)), None).count())
+        b.iter(|| {
+            store
+                .match_pattern(None, Some(black_box(predicate)), None)
+                .count()
+        })
     });
     g.bench_function("by_object", |b| {
-        b.iter(|| store.match_pattern(None, None, Some(black_box(object))).count())
+        b.iter(|| {
+            store
+                .match_pattern(None, None, Some(black_box(object)))
+                .count()
+        })
     });
     g.bench_function("full_scan", |b| {
         b.iter(|| store.match_pattern(None, None, None).count())
@@ -54,7 +66,10 @@ fn bench_entity_view(c: &mut Criterion) {
     let subjects: Vec<_> = store.subjects().take(100).collect();
     c.bench_function("store_entity_view_x100", |b| {
         b.iter(|| {
-            subjects.iter().map(|&s| store.entity(s).arity()).sum::<usize>()
+            subjects
+                .iter()
+                .map(|&s| store.entity(s).arity())
+                .sum::<usize>()
         })
     });
 }
@@ -77,5 +92,11 @@ fn bench_ntriples(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_insert, bench_match_pattern, bench_entity_view, bench_ntriples);
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_match_pattern,
+    bench_entity_view,
+    bench_ntriples
+);
 criterion_main!(benches);

@@ -22,19 +22,34 @@ use alex_sim::NumericSim;
 
 fn main() {
     let params = RunParams::from_args();
-    println!("Ablation grid on {} (final quality after a full run)\n", PaperPair::DbpediaNytimes.label());
-    println!("{:<34} | {:>5} | {:>6} | {:>5} | episodes", "variant", "P", "R", "F");
+    println!(
+        "Ablation grid on {} (final quality after a full run)\n",
+        PaperPair::DbpediaNytimes.label()
+    );
+    println!(
+        "{:<34} | {:>5} | {:>6} | {:>5} | episodes",
+        "variant", "P", "R", "F"
+    );
     println!("{}", "-".repeat(72));
 
     type Tweak = Box<dyn Fn(&mut alex_core::AlexConfig)>;
     let variants: Vec<(&str, Tweak)> = vec![
-        ("baseline (all decisions on)", Box::new(|_c: &mut alex_core::AlexConfig| {})),
+        (
+            "baseline (all decisions on)",
+            Box::new(|_c: &mut alex_core::AlexConfig| {}),
+        ),
         (
             "D1 reverted: ratio numeric sim",
             Box::new(|c: &mut alex_core::AlexConfig| c.sim.numeric = NumericSim::Ratio),
         ),
-        ("no blacklist (Fig 6)", Box::new(|c: &mut alex_core::AlexConfig| c.blacklist = false)),
-        ("no rollback (Fig 7)", Box::new(|c: &mut alex_core::AlexConfig| c.rollback = false)),
+        (
+            "no blacklist (Fig 6)",
+            Box::new(|c: &mut alex_core::AlexConfig| c.blacklist = false),
+        ),
+        (
+            "no rollback (Fig 7)",
+            Box::new(|c: &mut alex_core::AlexConfig| c.rollback = false),
+        ),
         (
             "no blacklist, no rollback",
             Box::new(|c: &mut alex_core::AlexConfig| {
@@ -69,7 +84,10 @@ fn main() {
     for engine in driver.engines() {
         let space = engine.space();
         for link in env.pair.truth.iter().filter(|l| space.contains(**l)) {
-            let fs = space.feature_set(*link).expect("contained link has features").clone();
+            let fs = space
+                .feature_set(*link)
+                .expect("contained link has features")
+                .clone();
             for f in fs.features() {
                 let got = space.explore(f.key, f.score, env.config.step_size);
                 single.add(&got, &env.pair.truth);

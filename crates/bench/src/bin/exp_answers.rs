@@ -53,9 +53,8 @@ fn workload_answers(
     fed.add_links(links.iter().copied());
     let about_iri = right.iri_str(about);
     let label_iri = left.iri_str(left_label);
-    let query = format!(
-        "SELECT ?name ?doc WHERE {{ ?e <{label_iri}> ?name . ?doc <{about_iri}> ?e }}"
-    );
+    let query =
+        format!("SELECT ?name ?doc WHERE {{ ?e <{label_iri}> ?name . ?doc <{about_iri}> ?e }}");
     fed.execute_str(&query)
         .expect("workload query parses")
         .into_iter()
@@ -72,10 +71,18 @@ fn main() {
     let params = RunParams::from_args();
     let mut env = build_env(PaperPair::OpencycNytimes, params, |c| c.max_episodes = 40);
     let about = attach_documents(&mut env.pair.right, 2);
-    let left_label = env.pair.left.intern_iri("http://opencyc.example.org/prettyString");
+    let left_label = env
+        .pair
+        .left
+        .intern_iri("http://opencyc.example.org/prettyString");
 
-    let truth_answers =
-        workload_answers(&env.pair.left, &env.pair.right, &env.pair.truth, about, left_label);
+    let truth_answers = workload_answers(
+        &env.pair.left,
+        &env.pair.right,
+        &env.pair.truth,
+        about,
+        left_label,
+    );
     println!(
         "workload: documents-of-entity through owl:sameAs; {} correct answers under ground truth",
         truth_answers.len()
@@ -101,9 +108,21 @@ fn main() {
         let link_q = Quality::compute(&links, &env.pair.truth);
         let answers = workload_answers(&env.pair.left, &env.pair.right, &links, about, left_label);
         let correct = answers.intersection(&truth_answers).count() as f64;
-        let p = if answers.is_empty() { 1.0 } else { correct / answers.len() as f64 };
-        let r = if truth_answers.is_empty() { 1.0 } else { correct / truth_answers.len() as f64 };
-        let f = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        let p = if answers.is_empty() {
+            1.0
+        } else {
+            correct / answers.len() as f64
+        };
+        let r = if truth_answers.is_empty() {
+            1.0
+        } else {
+            correct / truth_answers.len() as f64
+        };
+        let f = if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        };
         println!(
             "{:>7} | {:.3}  |      {:.3}       |     {:.3}     |  {:.3}",
             episode, link_q.f1, p, r, f

@@ -19,7 +19,10 @@ fn main() {
         .map(|&s| {
             let env = build_env(PaperPair::DbpediaNytimes, params, |c| c.step_size = s);
             let out = env.run_exact();
-            maybe_write_output(&format!("fig10_step_{s}.csv"), &reports_to_csv(&out.reports));
+            maybe_write_output(
+                &format!("fig10_step_{s}.csv"),
+                &reports_to_csv(&out.reports),
+            );
             out
         })
         .collect();
@@ -38,13 +41,20 @@ fn main() {
                         .get(ep)
                         .or(o.reports.last())
                         .map(|r| {
-                            let v = if metric == 0 { r.quality.f1 } else { r.quality.recall };
+                            let v = if metric == 0 {
+                                r.quality.f1
+                            } else {
+                                r.quality.recall
+                            };
                             format!("{v:.3}")
                         })
                         .unwrap_or_default()
                 })
                 .collect();
-            println!("{:>7} |   {:>5}   |   {:>5}   |   {:>5}", ep, cells[0], cells[1], cells[2]);
+            println!(
+                "{:>7} |   {:>5}   |   {:>5}   |   {:>5}",
+                ep, cells[0], cells[1], cells[2]
+            );
         }
     }
 
@@ -61,7 +71,10 @@ fn main() {
                     .unwrap_or_else(|| "-".into())
             })
             .collect();
-        println!("{:>7} |   {:>5}   |   {:>5}   |   {:>5}", ep, cells[0], cells[1], cells[2]);
+        println!(
+            "{:>7} |   {:>5}   |   {:>5}   |   {:>5}",
+            ep, cells[0], cells[1], cells[2]
+        );
     }
 
     println!("\nsummary:");

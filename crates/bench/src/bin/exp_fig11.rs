@@ -24,13 +24,19 @@ fn main() {
         .map(|&e| {
             let env = build_env(PaperPair::DbpediaNytimes, params, |c| c.episode_size = e);
             let out = env.run_exact();
-            maybe_write_output(&format!("fig11_episode_{e}.csv"), &reports_to_csv(&out.reports));
+            maybe_write_output(
+                &format!("fig11_episode_{e}.csv"),
+                &reports_to_csv(&out.reports),
+            );
             out
         })
         .collect();
 
     println!("\nf-measure per episode");
-    println!("episode | size {:>4} | size {:>4} | size {:>4}", sizes[0], sizes[1], sizes[2]);
+    println!(
+        "episode | size {:>4} | size {:>4} | size {:>4}",
+        sizes[0], sizes[1], sizes[2]
+    );
     println!("--------+-----------+-----------+----------");
     let n = outcomes.iter().map(|o| o.reports.len()).max().unwrap();
     for ep in 0..n {
@@ -44,7 +50,10 @@ fn main() {
                     .unwrap_or_default()
             })
             .collect();
-        println!("{:>7} |   {:>5}   |   {:>5}   |   {:>5}", ep, cells[0], cells[1], cells[2]);
+        println!(
+            "{:>7} |   {:>5}   |   {:>5}   |   {:>5}",
+            ep, cells[0], cells[1], cells[2]
+        );
     }
 
     println!("\nsummary (paper: 26 / 14 / 13 episodes to converge for 500/1000/1500):");

@@ -20,13 +20,24 @@ fn main() {
         .map(|w| w[1].clone());
 
     let subfigs: [(&str, &str, PaperPair); 3] = [
-        ("a", "Figure 2(a): DBpedia - NYTimes", PaperPair::DbpediaNytimes),
-        ("b", "Figure 2(b): DBpedia - Drugbank", PaperPair::DbpediaDrugbank),
+        (
+            "a",
+            "Figure 2(a): DBpedia - NYTimes",
+            PaperPair::DbpediaNytimes,
+        ),
+        (
+            "b",
+            "Figure 2(b): DBpedia - Drugbank",
+            PaperPair::DbpediaDrugbank,
+        ),
         ("c", "Figure 2(c): DBpedia - Lexvo", PaperPair::DbpediaLexvo),
     ];
 
     for (tag, title, kind) in subfigs {
-        if which.as_deref().is_some_and(|w| w != tag && w != kind.label()) {
+        if which
+            .as_deref()
+            .is_some_and(|w| w != tag && w != kind.label())
+        {
             continue;
         }
         let env = build_env(kind, params, |_| {});

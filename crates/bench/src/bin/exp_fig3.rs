@@ -18,13 +18,24 @@ fn main() {
         .map(|w| w[1].clone());
 
     let subfigs: [(&str, &str, PaperPair); 3] = [
-        ("a", "Figure 3(a): OpenCyc - NYTimes", PaperPair::OpencycNytimes),
-        ("b", "Figure 3(b): OpenCyc - Drugbank", PaperPair::OpencycDrugbank),
+        (
+            "a",
+            "Figure 3(a): OpenCyc - NYTimes",
+            PaperPair::OpencycNytimes,
+        ),
+        (
+            "b",
+            "Figure 3(b): OpenCyc - Drugbank",
+            PaperPair::OpencycDrugbank,
+        ),
         ("c", "Figure 3(c): OpenCyc - Lexvo", PaperPair::OpencycLexvo),
     ];
 
     for (tag, title, kind) in subfigs {
-        if which.as_deref().is_some_and(|w| w != tag && w != kind.label()) {
+        if which
+            .as_deref()
+            .is_some_and(|w| w != tag && w != kind.label())
+        {
             continue;
         }
         let env = build_env(kind, params, |_| {});

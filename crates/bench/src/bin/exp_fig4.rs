@@ -18,14 +18,33 @@ fn main() {
         .map(|w| w[1].clone());
 
     let subfigs: [(&str, &str, PaperPair); 4] = [
-        ("a", "Figure 4(a): DBpedia - Semantic Web Dogfood", PaperPair::DbpediaSwdf),
-        ("b", "Figure 4(b): OpenCyc - Semantic Web Dogfood", PaperPair::OpencycSwdf),
-        ("c", "Figure 4(c): DBpedia (NBA) - NYTimes", PaperPair::DbpediaNbaNytimes),
-        ("d", "Figure 4(d): OpenCyc (NBA) - NYTimes", PaperPair::OpencycNbaNytimes),
+        (
+            "a",
+            "Figure 4(a): DBpedia - Semantic Web Dogfood",
+            PaperPair::DbpediaSwdf,
+        ),
+        (
+            "b",
+            "Figure 4(b): OpenCyc - Semantic Web Dogfood",
+            PaperPair::OpencycSwdf,
+        ),
+        (
+            "c",
+            "Figure 4(c): DBpedia (NBA) - NYTimes",
+            PaperPair::DbpediaNbaNytimes,
+        ),
+        (
+            "d",
+            "Figure 4(d): OpenCyc (NBA) - NYTimes",
+            PaperPair::OpencycNbaNytimes,
+        ),
     ];
 
     for (tag, title, kind) in subfigs {
-        if which.as_deref().is_some_and(|w| w != tag && w != kind.label()) {
+        if which
+            .as_deref()
+            .is_some_and(|w| w != tag && w != kind.label())
+        {
             continue;
         }
         let env = build_env(kind, params, |c| {
@@ -33,7 +52,10 @@ fn main() {
             // per-user, specific-domain deployment.
             c.partitions = 4;
         });
-        assert_eq!(env.config.episode_size, 10, "specific-domain episode size is 10");
+        assert_eq!(
+            env.config.episode_size, 10,
+            "specific-domain episode size is 10"
+        );
         println!(
             "\n{} — ground truth {} links, initial (P {:.2}, R {:.2}), episode size 10",
             title,

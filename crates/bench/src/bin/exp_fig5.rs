@@ -30,15 +30,30 @@ fn main() {
     // the filtered space retained the pair.
     let part_subjects: std::collections::HashSet<_> = {
         let subjects: Vec<_> = env.pair.left.subjects().collect();
-        alex_core::round_robin(&subjects, default_partitions())[0].iter().copied().collect()
+        alex_core::round_robin(&subjects, default_partitions())[0]
+            .iter()
+            .copied()
+            .collect()
     };
-    let gt_owned = env.pair.truth.iter().filter(|l| part_subjects.contains(&l.left)).count();
+    let gt_owned = env
+        .pair
+        .truth
+        .iter()
+        .filter(|l| part_subjects.contains(&l.left))
+        .count();
 
-    println!("Figure 5: search-space filtering, partition 1 of {} ({} partitions)", env.kind.label(), default_partitions());
+    println!(
+        "Figure 5: search-space filtering, partition 1 of {} ({} partitions)",
+        env.kind.label(),
+        default_partitions()
+    );
     println!("\n(a) total possible links vs filtered space");
     println!("    total possible : {total:>10}");
     println!("    filtered (θ=0.3): {filtered:>10}");
-    println!("    reduction      : {:>9.1}%", 100.0 * (1.0 - filtered as f64 / total.max(1) as f64));
+    println!(
+        "    reduction      : {:>9.1}%",
+        100.0 * (1.0 - filtered as f64 / total.max(1) as f64)
+    );
     println!("\n(b) filtered space vs ground truth");
     println!("    filtered space : {filtered:>10}");
     println!("    ground truth   : {gt_owned:>10} links owned by this partition ({gt_in_partition} retained in the space)");
@@ -51,7 +66,10 @@ fn main() {
         (
             "space reduction by θ-filter",
             "95%".into(),
-            format!("{:.1}%", 100.0 * (1.0 - filtered as f64 / total.max(1) as f64)),
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - filtered as f64 / total.max(1) as f64)
+            ),
         ),
         (
             "ground truth / filtered space",

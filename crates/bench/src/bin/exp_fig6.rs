@@ -18,7 +18,10 @@ fn main() {
     let without_env = build_env(PaperPair::DbpediaNytimes, params, |c| c.blacklist = false);
     let without = without_env.run_exact();
 
-    println!("Figure 6: effect of the blacklist ({})", with_env.kind.label());
+    println!(
+        "Figure 6: effect of the blacklist ({})",
+        with_env.kind.label()
+    );
     println!("\n(a) F-measure per episode");
     println!("episode | with blacklist | without blacklist");
     println!("--------+----------------+------------------");
@@ -31,7 +34,12 @@ fn main() {
                 .map(|r| format!("{:.3}", r.quality.f1))
                 .unwrap_or_default()
         };
-        println!("{:>7} |     {:>6}     |      {:>6}", ep, f(&with.reports), f(&without.reports));
+        println!(
+            "{:>7} |     {:>6}     |      {:>6}",
+            ep,
+            f(&with.reports),
+            f(&without.reports)
+        );
     }
 
     println!("\n(b) negative feedback per episode (first 10 episodes)");
@@ -44,12 +52,21 @@ fn main() {
                 .map(|r| format!("{:.1}%", r.negative_fraction() * 100.0))
                 .unwrap_or_else(|| "-".into())
         };
-        println!("{:>7} |     {:>6}     |      {:>6}", ep, f(&with.reports), f(&without.reports));
+        println!(
+            "{:>7} |     {:>6}     |      {:>6}",
+            ep,
+            f(&with.reports),
+            f(&without.reports)
+        );
     }
 
     let avg_neg = |reports: &[alex_core::EpisodeReport]| {
-        let xs: Vec<f64> =
-            reports.iter().skip(1).take(10).map(|r| r.negative_fraction()).collect();
+        let xs: Vec<f64> = reports
+            .iter()
+            .skip(1)
+            .take(10)
+            .map(|r| r.negative_fraction())
+            .collect();
         xs.iter().sum::<f64>() / xs.len().max(1) as f64
     };
     println!(
@@ -66,5 +83,8 @@ fn main() {
     );
 
     maybe_write_output("fig6_with_blacklist.csv", &reports_to_csv(&with.reports));
-    maybe_write_output("fig6_without_blacklist.csv", &reports_to_csv(&without.reports));
+    maybe_write_output(
+        "fig6_without_blacklist.csv",
+        &reports_to_csv(&without.reports),
+    );
 }

@@ -14,7 +14,12 @@ use alex_datagen::PaperPair;
 
 fn partition_converged(reports: &[EpisodeReport]) -> bool {
     reports.last().is_some_and(|r| r.changed_links == 0)
-        && reports.iter().skip(1).rev().take(3).all(|r| r.changed_links == 0)
+        && reports
+            .iter()
+            .skip(1)
+            .rev()
+            .take(3)
+            .all(|r| r.changed_links == 0)
 }
 
 fn main() {
@@ -55,13 +60,17 @@ fn main() {
         }
     };
     match converging {
-        Some((idx, pr)) => print_partition("(b) a partition that converges without rollback", idx, pr),
+        Some((idx, pr)) => {
+            print_partition("(b) a partition that converges without rollback", idx, pr)
+        }
         None => println!("\n(b) no partition converged without rollback in this run"),
     }
     match diverging {
-        Some((idx, pr)) => {
-            print_partition("(c) a partition that does not converge without rollback", idx, pr)
-        }
+        Some((idx, pr)) => print_partition(
+            "(c) a partition that does not converge without rollback",
+            idx,
+            pr,
+        ),
         None => println!("\n(c) every partition converged without rollback in this run"),
     }
 

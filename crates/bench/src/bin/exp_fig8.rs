@@ -30,7 +30,11 @@ fn main() {
     let outcome = env.run_exact();
     print_quality_series("Figure 8: DBpedia - OpenCyc", &outcome);
 
-    let initial_correct = env.initial.iter().filter(|l| env.pair.truth.contains(l)).count();
+    let initial_correct = env
+        .initial
+        .iter()
+        .filter(|l| env.pair.truth.contains(l))
+        .count();
     let discovered = outcome
         .final_links
         .iter()

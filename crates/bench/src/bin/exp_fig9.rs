@@ -28,7 +28,10 @@ fn main() {
     let noisy_oracle = NoisyOracle::new(env.exact_oracle(), 0.10);
     let noisy = env.run_with(&noisy_oracle);
 
-    println!("Figure 9: ALEX with correct feedback vs 10% incorrect feedback ({})", env.kind.label());
+    println!(
+        "Figure 9: ALEX with correct feedback vs 10% incorrect feedback ({})",
+        env.kind.label()
+    );
     for (caption, metric) in [
         ("(a) precision", 0usize),
         ("(b) recall", 1),
@@ -50,7 +53,12 @@ fn main() {
                     })
                     .unwrap_or_default()
             };
-            println!("{:>7} |      {:>6}      |     {:>6}", ep, get(&clean.reports), get(&noisy.reports));
+            println!(
+                "{:>7} |      {:>6}      |     {:>6}",
+                ep,
+                get(&clean.reports),
+                get(&noisy.reports)
+            );
         }
     }
 

@@ -22,8 +22,7 @@ fn main() {
     for kind in PaperPair::ALL {
         let pair = generate(&kind.spec(params.scale, params.data_seed));
         let out = ParisLinker::new(ParisConfig::default()).run(&pair.left, &pair.right);
-        let links: std::collections::HashSet<_> =
-            out.above_threshold(0.5).into_iter().collect();
+        let links: std::collections::HashSet<_> = out.above_threshold(0.5).into_iter().collect();
         let q = Quality::compute(&links, &pair.truth);
         println!(
             "{:<32} | {:>5} | {:>5} | {:.3}  | {:.3}  | {:.3}",

@@ -12,7 +12,10 @@ use alex_datagen::{generate, PaperPair};
 
 fn main() {
     let params = RunParams::from_args();
-    println!("Table 1: data sets used in the experiments (synthetic analogs at scale {})", params.scale);
+    println!(
+        "Table 1: data sets used in the experiments (synthetic analogs at scale {})",
+        params.scale
+    );
     println!(
         "{:<22} {:<18} {:>14} {:>12} {:>10} {:>11}",
         "Data Set", "Field", "Paper triples", "Our triples", "Entities", "Predicates"
@@ -23,14 +26,56 @@ fn main() {
     // multi-domain sets are taken from the stress pair so they carry the
     // full domain mixture.
     let rows: [(&str, &str, &str, PaperPair, bool); 8] = [
-        ("DBpedia", "Multi-domain", "43.6M", PaperPair::DbpediaOpencyc, true),
-        ("OpenCyc", "Multi-domain", "1.6M", PaperPair::DbpediaOpencyc, false),
+        (
+            "DBpedia",
+            "Multi-domain",
+            "43.6M",
+            PaperPair::DbpediaOpencyc,
+            true,
+        ),
+        (
+            "OpenCyc",
+            "Multi-domain",
+            "1.6M",
+            PaperPair::DbpediaOpencyc,
+            false,
+        ),
         ("NYTimes", "Media", "335K", PaperPair::DbpediaNytimes, false),
-        ("Drugbank", "Life Sciences", "767K", PaperPair::DbpediaDrugbank, false),
-        ("Lexvo", "Linguistics", "715K", PaperPair::DbpediaLexvo, false),
-        ("SW Dogfood", "Publications", "337K", PaperPair::DbpediaSwdf, false),
-        ("DBpedia (NBA)", "Basketball", "56K", PaperPair::DbpediaNbaNytimes, true),
-        ("OpenCyc (NBA)", "Basketball", "726", PaperPair::OpencycNbaNytimes, true),
+        (
+            "Drugbank",
+            "Life Sciences",
+            "767K",
+            PaperPair::DbpediaDrugbank,
+            false,
+        ),
+        (
+            "Lexvo",
+            "Linguistics",
+            "715K",
+            PaperPair::DbpediaLexvo,
+            false,
+        ),
+        (
+            "SW Dogfood",
+            "Publications",
+            "337K",
+            PaperPair::DbpediaSwdf,
+            false,
+        ),
+        (
+            "DBpedia (NBA)",
+            "Basketball",
+            "56K",
+            PaperPair::DbpediaNbaNytimes,
+            true,
+        ),
+        (
+            "OpenCyc (NBA)",
+            "Basketball",
+            "726",
+            PaperPair::OpencycNbaNytimes,
+            true,
+        ),
     ];
 
     for (name, field, paper, pair_kind, take_left) in rows {

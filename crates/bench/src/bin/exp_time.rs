@@ -20,12 +20,25 @@ fn main() {
     let batch_total = t0.elapsed().as_secs_f64() * 1000.0;
     let batch_episodes = (batch.reports.len() - 1).max(1);
 
-    println!("Batch mode: {} ({} partitions)", env.kind.label(), env.config.partitions);
+    println!(
+        "Batch mode: {} ({} partitions)",
+        env.kind.label(),
+        env.config.partitions
+    );
     println!("  episodes run          : {batch_episodes}");
     println!("  total wall clock      : {batch_total:.0} ms");
-    println!("  per episode           : {:.1} ms", batch_total / batch_episodes as f64);
-    println!("  slowest partition     : {:.1} ms", batch.slowest_partition_ms());
-    println!("  average partition     : {:.1} ms", batch.average_partition_ms());
+    println!(
+        "  per episode           : {:.1} ms",
+        batch_total / batch_episodes as f64
+    );
+    println!(
+        "  slowest partition     : {:.1} ms",
+        batch.slowest_partition_ms()
+    );
+    println!(
+        "  average partition     : {:.1} ms",
+        batch.average_partition_ms()
+    );
 
     // Specific-domain mode.
     let env_sd = build_env(PaperPair::DbpediaNbaNytimes, params, |c| c.partitions = 4);
@@ -34,10 +47,16 @@ fn main() {
     let domain_total = t0.elapsed().as_secs_f64() * 1000.0;
     let domain_episodes = (domain.reports.len() - 1).max(1);
 
-    println!("\nSpecific domain: {} (4 partitions, episode size 10)", env_sd.kind.label());
+    println!(
+        "\nSpecific domain: {} (4 partitions, episode size 10)",
+        env_sd.kind.label()
+    );
     println!("  episodes run          : {domain_episodes}");
     println!("  total wall clock      : {domain_total:.0} ms");
-    println!("  per episode           : {:.1} ms", domain_total / domain_episodes as f64);
+    println!(
+        "  per episode           : {:.1} ms",
+        domain_total / domain_episodes as f64
+    );
 
     print_paper_vs_measured(&[
         (

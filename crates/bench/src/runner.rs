@@ -33,7 +33,11 @@ pub struct RunParams {
 
 impl Default for RunParams {
     fn default() -> Self {
-        Self { scale: 1.0, data_seed: 42, run_seed: 7 }
+        Self {
+            scale: 1.0,
+            data_seed: 42,
+            run_seed: 7,
+        }
     }
 }
 
@@ -76,7 +80,13 @@ pub fn build_env(
         ..Default::default()
     };
     tweak(&mut config);
-    ExperimentEnv { kind, pair, initial, config, start_quality }
+    ExperimentEnv {
+        kind,
+        pair,
+        initial,
+        config,
+        start_quality,
+    }
 }
 
 /// Partition count used by the experiments.
@@ -87,15 +97,22 @@ pub fn build_env(
 /// toward the paper's 27. At our dataset scale, 8 partitions keep enough
 /// ground truth per partition for the per-partition curves of Figure 7.
 pub fn default_partitions() -> usize {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     cores.clamp(8, 27)
 }
 
 impl ExperimentEnv {
     /// Builds the driver for this environment.
     pub fn driver(&self) -> AlexDriver {
-        AlexDriver::new(&self.pair.left, &self.pair.right, &self.initial, self.config.clone())
-            .expect("experiment config is valid")
+        AlexDriver::new(
+            &self.pair.left,
+            &self.pair.right,
+            &self.initial,
+            self.config.clone(),
+        )
+        .expect("experiment config is valid")
     }
 
     /// Runs to convergence with the exact ground-truth oracle.
@@ -137,7 +154,10 @@ mod tests {
         });
         assert!(!env.config.blacklist);
         assert_eq!(env.config.step_size, 0.1);
-        assert_eq!(env.config.episode_size, 10, "specific-domain pairs use episode 10");
+        assert_eq!(
+            env.config.episode_size, 10,
+            "specific-domain pairs use episode 10"
+        );
     }
 
     #[test]

@@ -10,7 +10,11 @@ pub fn print_quality_series(title: &str, outcome: &RunOutcome) {
     println!("episode | precision | recall | f-measure | candidates | neg-feedback%");
     println!("--------+-----------+--------+-----------+------------+--------------");
     for r in &outcome.reports {
-        let marker = if Some(r.episode) == outcome.relaxed_convergence { " <- relaxed (<5%)" } else { "" };
+        let marker = if Some(r.episode) == outcome.relaxed_convergence {
+            " <- relaxed (<5%)"
+        } else {
+            ""
+        };
         println!(
             "{:>7} |   {:.3}   | {:.3}  |   {:.3}   | {:>8}   |    {:>4.1}{}",
             r.episode,
@@ -93,7 +97,11 @@ mod tests {
     fn report(ep: usize) -> EpisodeReport {
         EpisodeReport {
             episode: ep,
-            quality: Quality { precision: 0.9, recall: 0.8, f1: 0.85 },
+            quality: Quality {
+                precision: 0.9,
+                recall: 0.8,
+                f1: 0.85,
+            },
             candidates: 100,
             feedback_items: 50,
             negative_feedback: 10,

@@ -65,7 +65,11 @@ impl FeatureSet {
         // per-row max if the left entity has more attributes, per-column
         // max otherwise (§4.1).
         let row_major = left.arity() >= right.arity();
-        let (outer, inner) = if row_major { (left, right) } else { (right, left) };
+        let (outer, inner) = if row_major {
+            (left, right)
+        } else {
+            (right, left)
+        };
 
         let mut features: Vec<Feature> = Vec::new();
         for oa in &outer.attributes {
@@ -91,7 +95,9 @@ impl FeatureSet {
         // Deduplicate keys, keeping the best score per key: distinct
         // attributes of the outer entity can elect the same predicate pair.
         features.sort_unstable_by(|a, b| {
-            a.key.cmp(&b.key).then(b.score.partial_cmp(&a.score).expect("scores are finite"))
+            a.key
+                .cmp(&b.key)
+                .then(b.score.partial_cmp(&a.score).expect("scores are finite"))
         });
         features.dedup_by_key(|f| f.key);
         Some(Self { features })
@@ -137,7 +143,10 @@ mod tests {
             IriId(interner.intern(id)),
             attrs
                 .iter()
-                .map(|(p, o)| Attribute { predicate: IriId(interner.intern(p)), object: *o })
+                .map(|(p, o)| Attribute {
+                    predicate: IriId(interner.intern(p)),
+                    object: *o,
+                })
                 .collect(),
         )
     }
@@ -183,7 +192,11 @@ mod tests {
     #[test]
     fn column_major_when_right_is_larger() {
         let (i, sim) = setup();
-        let e1 = entity(&i, "e1", &[("label", Literal::str(&i, "Alpha Beta").into())]);
+        let e1 = entity(
+            &i,
+            "e1",
+            &[("label", Literal::str(&i, "Alpha Beta").into())],
+        );
         let e2 = entity(
             &i,
             "e2",

@@ -25,14 +25,26 @@ impl Quality {
     /// Computes quality of `candidates` against `ground_truth`.
     pub fn compute(candidates: &HashSet<Link>, ground_truth: &HashSet<Link>) -> Self {
         let correct = candidates.intersection(ground_truth).count() as f64;
-        let precision = if candidates.is_empty() { 1.0 } else { correct / candidates.len() as f64 };
-        let recall = if ground_truth.is_empty() { 1.0 } else { correct / ground_truth.len() as f64 };
+        let precision = if candidates.is_empty() {
+            1.0
+        } else {
+            correct / candidates.len() as f64
+        };
+        let recall = if ground_truth.is_empty() {
+            1.0
+        } else {
+            correct / ground_truth.len() as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        Self { precision, recall, f1 }
+        Self {
+            precision,
+            recall,
+            f1,
+        }
     }
 }
 
@@ -79,7 +91,10 @@ mod tests {
     use alex_rdf::{Interner, IriId};
 
     fn link(i: &Interner, n: usize) -> Link {
-        Link::new(IriId(i.intern(&format!("l{n}"))), IriId(i.intern(&format!("r{n}"))))
+        Link::new(
+            IriId(i.intern(&format!("l{n}"))),
+            IriId(i.intern(&format!("r{n}"))),
+        )
     }
 
     #[test]
@@ -124,7 +139,11 @@ mod tests {
     fn negative_fraction() {
         let r = EpisodeReport {
             episode: 1,
-            quality: Quality { precision: 1.0, recall: 1.0, f1: 1.0 },
+            quality: Quality {
+                precision: 1.0,
+                recall: 1.0,
+                f1: 1.0,
+            },
             candidates: 10,
             feedback_items: 20,
             negative_feedback: 5,
@@ -134,7 +153,11 @@ mod tests {
             duration_ms: 0.0,
         };
         assert!((r.negative_fraction() - 0.25).abs() < 1e-12);
-        let r = EpisodeReport { feedback_items: 0, negative_feedback: 0, ..r };
+        let r = EpisodeReport {
+            feedback_items: 0,
+            negative_feedback: 0,
+            ..r
+        };
         assert_eq!(r.negative_fraction(), 0.0);
     }
 
@@ -142,7 +165,11 @@ mod tests {
     fn report_serializes() {
         let r = EpisodeReport {
             episode: 2,
-            quality: Quality { precision: 0.9, recall: 0.8, f1: 0.85 },
+            quality: Quality {
+                precision: 0.9,
+                recall: 0.8,
+                f1: 0.85,
+            },
             candidates: 100,
             feedback_items: 50,
             negative_feedback: 10,

@@ -12,7 +12,9 @@ use alex_rdf::IriId;
 /// most one; empty partitions occur only when `n > subjects.len()`.
 pub fn round_robin(subjects: &[IriId], n: usize) -> Vec<Vec<IriId>> {
     assert!(n > 0, "partition count must be positive");
-    let mut parts: Vec<Vec<IriId>> = (0..n).map(|k| Vec::with_capacity(subjects.len() / n + usize::from(k < subjects.len() % n))).collect();
+    let mut parts: Vec<Vec<IriId>> = (0..n)
+        .map(|k| Vec::with_capacity(subjects.len() / n + usize::from(k < subjects.len() % n)))
+        .collect();
     for (i, &s) in subjects.iter().enumerate() {
         parts[i % n].push(s);
     }

@@ -189,7 +189,9 @@ impl ExplorationSpace {
 
     /// The feature set of `link` — the state representation (§4.1).
     pub fn feature_set(&self, link: Link) -> Option<&FeatureSet> {
-        self.pair_index.get(&link).map(|&i| &self.pairs[i as usize].features)
+        self.pair_index
+            .get(&link)
+            .map(|&i| &self.pairs[i as usize].features)
     }
 
     /// All links of the filtered space.
@@ -215,7 +217,10 @@ impl ExplorationSpace {
         let hi = center + step;
         let start = list.partition_point(|&(s, _)| s < lo);
         let end = list.partition_point(|&(s, _)| s <= hi);
-        list[start..end].iter().map(|&(_, i)| self.pairs[i as usize].link).collect()
+        list[start..end]
+            .iter()
+            .map(|&(_, i)| self.pairs[i as usize].link)
+            .collect()
     }
 
     /// Executes an action against a full state feature set.
@@ -291,7 +296,11 @@ mod tests {
         let year_l = left.intern_iri("l/year");
         let name_r = right.intern_iri("r/label");
         let year_r = right.intern_iri("r/born");
-        let data = [("LeBron James", 1984), ("Kobe Bryant", 1978), ("Tim Duncan", 1976)];
+        let data = [
+            ("LeBron James", 1984),
+            ("Kobe Bryant", 1978),
+            ("Tim Duncan", 1976),
+        ];
         let mut subjects = Vec::new();
         for (i, (n, y)) in data.iter().enumerate() {
             let ls = left.intern_iri(&format!("l/e{i}"));
@@ -308,14 +317,25 @@ mod tests {
     }
 
     fn build(left: &Store, right: &Store, subjects: &[IriId]) -> ExplorationSpace {
-        ExplorationSpace::build(left, right, subjects, &SimConfig::default(), 0.3, DEFAULT_MAX_BLOCK)
+        ExplorationSpace::build(
+            left,
+            right,
+            subjects,
+            &SimConfig::default(),
+            0.3,
+            DEFAULT_MAX_BLOCK,
+        )
     }
 
     #[test]
     fn space_contains_matching_pairs() {
         let (left, right, subjects) = stores();
         let space = build(&left, &right, &subjects);
-        assert!(space.len() >= 3, "at least the 3 true pairs, got {}", space.len());
+        assert!(
+            space.len() >= 3,
+            "at least the 3 true pairs, got {}",
+            space.len()
+        );
         assert_eq!(space.total_possible(), 3 * 4);
         let l0 = left.intern_iri("l/e0");
         let r0 = right.intern_iri("r/e0");
@@ -343,7 +363,10 @@ mod tests {
         let fs = space.feature_set(link).unwrap().clone();
         let f = fs.features()[0];
         let found = space.explore(f.key, f.score, 0.05);
-        assert!(found.contains(&link), "exploring around own score must find self");
+        assert!(
+            found.contains(&link),
+            "exploring around own score must find self"
+        );
         // Range semantics: brute-force check.
         for l in space.links() {
             let in_range = space

@@ -13,7 +13,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn link(i: &Interner, a: u32, b: u32) -> Link {
-    Link::new(IriId(i.intern(&format!("l{a}"))), IriId(i.intern(&format!("r{b}"))))
+    Link::new(
+        IriId(i.intern(&format!("l{a}"))),
+        IriId(i.intern(&format!("r{b}"))),
+    )
 }
 
 // ---------------------------------------------------------------- candidates

@@ -47,7 +47,9 @@ enum Mode {
 impl AlignmentTable {
     /// A uniform prior table assigning `prior` to every predicate pair.
     pub fn uniform(prior: f64) -> Self {
-        Self { mode: Mode::Uniform(prior.clamp(0.0, 1.0)) }
+        Self {
+            mode: Mode::Uniform(prior.clamp(0.0, 1.0)),
+        }
     }
 
     /// Alignment of `(left predicate, right predicate)`.
@@ -126,7 +128,9 @@ impl AlignmentTable {
                 (d > 0.0).then(|| ((lp, rp), (n / d).clamp(0.0, 1.0)))
             })
             .collect();
-        Self { mode: Mode::Learned(learned) }
+        Self {
+            mode: Mode::Learned(learned),
+        }
     }
 }
 
@@ -171,13 +175,23 @@ mod tests {
         let mut eqv = EquivalenceTable::new(pairs);
         let fun_l = crate::functionality::FunctionalityTable::build(&left);
         let fun_r = crate::functionality::FunctionalityTable::build(&right);
-        eqv.update(&left, &right, &AlignmentTable::uniform(0.1), &fun_l, &fun_r, &cfg);
+        eqv.update(
+            &left,
+            &right,
+            &AlignmentTable::uniform(0.1),
+            &fun_l,
+            &fun_r,
+            &cfg,
+        );
         let t = AlignmentTable::estimate(&left, &right, &eqv, &cfg);
 
         let good = t.get(name_l, name_r);
         let bad = t.get(name_l, other_r);
         assert!(good > 0.9, "name alignment should be strong, got {good}");
-        assert!(bad < 0.1, "name/city alignment should be near zero, got {bad}");
+        assert!(
+            bad < 0.1,
+            "name/city alignment should be near zero, got {bad}"
+        );
         assert!(!t.is_empty());
     }
 

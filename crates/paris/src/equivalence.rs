@@ -64,7 +64,10 @@ pub(crate) fn object_eq(
 impl EquivalenceTable {
     /// Creates a table over `pairs` with all beliefs at zero.
     pub fn new(pairs: Vec<(IriId, IriId)>) -> Self {
-        Self { pairs, scores: HashMap::new() }
+        Self {
+            pairs,
+            scores: HashMap::new(),
+        }
     }
 
     /// The candidate pairs under consideration.
@@ -116,7 +119,9 @@ impl EquivalenceTable {
                     if eq <= 0.0 {
                         continue;
                     }
-                    let ident = fun_left.ifun(al.predicate).max(fun_right.ifun(ar.predicate));
+                    let ident = fun_left
+                        .ifun(al.predicate)
+                        .max(fun_right.ifun(ar.predicate));
                     let evidence = a * ident * eq;
                     let slot = best.entry((al.predicate, ar.predicate)).or_insert(0.0);
                     if evidence > *slot {
@@ -157,11 +162,16 @@ impl EquivalenceTable {
         }
         let mut out: Vec<ScoredLink> = best_left
             .into_iter()
-            .filter(|&(l, (r, _))| !mutual_best || best_right.get(&r).is_some_and(|&(bl, _)| bl == l))
+            .filter(|&(l, (r, _))| {
+                !mutual_best || best_right.get(&r).is_some_and(|&(bl, _)| bl == l)
+            })
             .map(|(l, (r, s))| ScoredLink::new(Link::new(l, r), s))
             .collect();
         out.sort_unstable_by(|a, b| {
-            b.score.partial_cmp(&a.score).unwrap().then_with(|| a.link.cmp(&b.link))
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then_with(|| a.link.cmp(&b.link))
         });
         out
     }

@@ -48,7 +48,14 @@ impl FunctionalityTable {
             .into_iter()
             .map(|(p, a)| {
                 let n = a.triples as f64;
-                (p, Entry { fun: a.subjects.len() as f64 / n, ifun: a.objects.len() as f64 / n, triples: a.triples })
+                (
+                    p,
+                    Entry {
+                        fun: a.subjects.len() as f64 / n,
+                        ifun: a.objects.len() as f64 / n,
+                        triples: a.triples,
+                    },
+                )
             })
             .collect();
         Self { entries }

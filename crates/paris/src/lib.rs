@@ -102,7 +102,11 @@ pub struct ParisOutput {
 impl ParisOutput {
     /// Links with score at or above `threshold` (the paper uses 0.95).
     pub fn above_threshold(&self, threshold: f64) -> Vec<Link> {
-        self.links.iter().filter(|l| l.score >= threshold).map(|l| l.link).collect()
+        self.links
+            .iter()
+            .filter(|l| l.score >= threshold)
+            .map(|l| l.link)
+            .collect()
     }
 }
 
@@ -138,7 +142,11 @@ impl ParisLinker {
         }
 
         let links = eqv.assign(cfg.mutual_best);
-        ParisOutput { links, candidates_examined: candidates.len(), alignments: align }
+        ParisOutput {
+            links,
+            candidates_examined: candidates.len(),
+            alignments: align,
+        }
     }
 }
 
@@ -183,7 +191,9 @@ mod tests {
         assert_eq!(out.links.len(), gt.len(), "links: {:?}", out.links);
         for (l, r) in gt {
             assert!(
-                out.links.iter().any(|s| s.link.left == l && s.link.right == r),
+                out.links
+                    .iter()
+                    .any(|s| s.link.left == l && s.link.right == r),
                 "missing link {l:?} -> {r:?}"
             );
         }

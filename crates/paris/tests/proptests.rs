@@ -26,7 +26,11 @@ fn build_stores(names: &[String], extra_left: usize) -> (Store, Store, Vec<(IriI
     }
     for k in 0..extra_left {
         let l = left.intern_iri(&format!("l/x{k}"));
-        left.insert_literal(l, name_l, Literal::str(&interner, &format!("unique extra {k}")));
+        left.insert_literal(
+            l,
+            name_l,
+            Literal::str(&interner, &format!("unique extra {k}")),
+        );
     }
     (left, right, gt)
 }

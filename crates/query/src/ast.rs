@@ -70,7 +70,9 @@ pub struct TriplePattern {
 impl TriplePattern {
     /// Variables mentioned by this pattern, in position order.
     pub fn variables(&self) -> impl Iterator<Item = &Variable> {
-        [&self.subject, &self.predicate, &self.object].into_iter().filter_map(PatternTerm::as_var)
+        [&self.subject, &self.predicate, &self.object]
+            .into_iter()
+            .filter_map(PatternTerm::as_var)
     }
 }
 
@@ -292,7 +294,10 @@ mod tests {
                     object: PatternTerm::Var(var("c")),
                 },
             ],
-            filters: vec![FilterExpr::Contains { var: var("c"), needle: "x".into() }],
+            filters: vec![FilterExpr::Contains {
+                var: var("c"),
+                needle: "x".into(),
+            }],
             optionals: vec![],
             unions: vec![],
             order_by: vec![],

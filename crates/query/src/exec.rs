@@ -31,7 +31,12 @@ impl VarTable {
     /// Builds the table from a query's variables.
     pub fn from_query(query: &Query) -> Self {
         let names = query.all_variables();
-        let index = names.iter().cloned().enumerate().map(|(i, v)| (v, i)).collect();
+        let index = names
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, v)| (v, i))
+            .collect();
         Self { names, index }
     }
 
@@ -60,9 +65,10 @@ impl VarTable {
 pub fn resolve_literal(spec: &LiteralSpec, interner: &Interner) -> Option<Literal> {
     Some(match spec {
         LiteralSpec::Str(s) => Literal::Str(interner.intern(s)),
-        LiteralSpec::LangStr(s, lang) => {
-            Literal::LangStr { value: interner.intern(s), lang: interner.intern(lang) }
-        }
+        LiteralSpec::LangStr(s, lang) => Literal::LangStr {
+            value: interner.intern(s),
+            lang: interner.intern(lang),
+        },
         LiteralSpec::Integer(i) => Literal::Integer(*i),
         LiteralSpec::Float(f) => Literal::float(*f),
         LiteralSpec::Boolean(b) => Literal::Boolean(*b),
@@ -152,8 +158,9 @@ impl CompiledQuery {
         rows: &[Row],
         remaining: &mut Vec<&'p TriplePattern>,
     ) -> &'p TriplePattern {
-        let bound_vars: Vec<bool> =
-            (0..self.vars.len()).map(|i| rows.iter().any(|r| r[i].is_some())).collect();
+        let bound_vars: Vec<bool> = (0..self.vars.len())
+            .map(|i| rows.iter().any(|r| r[i].is_some()))
+            .collect();
         let score = |p: &TriplePattern| -> usize {
             [&p.subject, &p.predicate, &p.object]
                 .iter()
@@ -179,7 +186,10 @@ impl CompiledQuery {
             rows = self.extend(rows, pattern, store);
         }
         rows.retain(|r| {
-            group.filters.iter().all(|f| eval_filter(f, r, &self.vars, store.interner()))
+            group
+                .filters
+                .iter()
+                .all(|f| eval_filter(f, r, &self.vars, store.interner()))
         });
         rows
     }
@@ -192,7 +202,10 @@ impl CompiledQuery {
     ) -> Result<Option<Term>, ()> {
         match term {
             PatternTerm::Var(v) => {
-                let i = self.vars.index_of(v).expect("var table covers all query variables");
+                let i = self
+                    .vars
+                    .index_of(v)
+                    .expect("var table covers all query variables");
                 Ok(row[i])
             }
             PatternTerm::Iri(iri) => match interner.get(iri) {
@@ -237,7 +250,11 @@ impl CompiledQuery {
                 let mut new_row = row.clone();
                 let mut ok = true;
                 if let PatternTerm::Var(v) = &pattern.subject {
-                    ok &= bind(&mut new_row, self.vars.index_of(v).unwrap(), Term::Iri(triple.subject));
+                    ok &= bind(
+                        &mut new_row,
+                        self.vars.index_of(v).unwrap(),
+                        Term::Iri(triple.subject),
+                    );
                 }
                 if ok {
                     if let PatternTerm::Var(v) = &pattern.predicate {
@@ -289,7 +306,11 @@ impl CompiledQuery {
             return rows;
         }
         rows.into_iter()
-            .filter(|row| ready.iter().all(|f| eval_filter(f, row, &self.vars, store.interner())))
+            .filter(|row| {
+                ready
+                    .iter()
+                    .all(|f| eval_filter(f, row, &self.vars, store.interner()))
+            })
             .collect()
     }
 
@@ -322,7 +343,12 @@ impl CompiledQuery {
         let mut to_skip = self.query.offset.unwrap_or(0);
         for row in rows {
             // Residual filter check.
-            if !self.query.filters.iter().all(|f| eval_filter(f, &row, &self.vars, interner)) {
+            if !self
+                .query
+                .filters
+                .iter()
+                .all(|f| eval_filter(f, &row, &self.vars, interner))
+            {
                 continue;
             }
             let projected: Vec<Option<Term>> = proj.iter().map(|&i| row[i]).collect();
@@ -361,7 +387,9 @@ pub fn eval_filter(f: &FilterExpr, row: &Row, vars: &VarTable, interner: &Intern
         FilterExpr::Compare { left, op, right } => {
             let l = operand_term(left, row, vars, interner);
             let r = operand_term(right, row, vars, interner);
-            let (Some(l), Some(r)) = (l, r) else { return false };
+            let (Some(l), Some(r)) = (l, r) else {
+                return false;
+            };
             match op {
                 CompareOp::Eq => term_eq(&l, &r, interner),
                 CompareOp::Ne => !term_eq(&l, &r, interner),
@@ -377,14 +405,10 @@ pub fn eval_filter(f: &FilterExpr, row: &Row, vars: &VarTable, interner: &Intern
                 },
             }
         }
-        FilterExpr::Contains { var, needle } => {
-            string_value(var, row, vars, interner)
-                .is_some_and(|s| s.to_lowercase().contains(&needle.to_lowercase()))
-        }
-        FilterExpr::StrStarts { var, prefix } => {
-            string_value(var, row, vars, interner)
-                .is_some_and(|s| s.to_lowercase().starts_with(&prefix.to_lowercase()))
-        }
+        FilterExpr::Contains { var, needle } => string_value(var, row, vars, interner)
+            .is_some_and(|s| s.to_lowercase().contains(&needle.to_lowercase())),
+        FilterExpr::StrStarts { var, prefix } => string_value(var, row, vars, interner)
+            .is_some_and(|s| s.to_lowercase().starts_with(&prefix.to_lowercase())),
         FilterExpr::And(a, b) => {
             eval_filter(a, row, vars, interner) && eval_filter(b, row, vars, interner)
         }
@@ -407,12 +431,7 @@ fn operand_term(
     }
 }
 
-fn string_value(
-    var: &Variable,
-    row: &Row,
-    vars: &VarTable,
-    interner: &Interner,
-) -> Option<String> {
+fn string_value(var: &Variable, row: &Row, vars: &VarTable, interner: &Interner) -> Option<String> {
     let term = vars.index_of(var).and_then(|i| row[i])?;
     Some(match term {
         Term::Iri(id) => interner.resolve(id.0).to_string(),
@@ -508,7 +527,11 @@ mod tests {
         let name = store.intern_iri("http://ex/name");
         let age = store.intern_iri("http://ex/age");
         let knows = store.intern_iri("http://ex/knows");
-        let people = [("alice", "Alice Prandel", 30i64), ("bob", "Bob Krane", 25), ("carol", "Carol Thorn", 35)];
+        let people = [
+            ("alice", "Alice Prandel", 30i64),
+            ("bob", "Bob Krane", 25),
+            ("carol", "Carol Thorn", 35),
+        ];
         for (id, nm, a) in people {
             let s = store.intern_iri(&format!("http://ex/{id}"));
             store.insert_literal(s, name, Literal::str(&interner, nm));
@@ -526,7 +549,11 @@ mod tests {
         CompiledQuery::new(parse(q).unwrap())
             .execute(store)
             .into_iter()
-            .map(|row| row.into_iter().map(|c| c.expect("bound in these tests")).collect())
+            .map(|row| {
+                row.into_iter()
+                    .map(|c| c.expect("bound in these tests"))
+                    .collect()
+            })
             .collect()
     }
 
@@ -538,7 +565,10 @@ mod tests {
     #[test]
     fn single_pattern() {
         let store = demo_store();
-        let rows = run(&store, "SELECT ?n WHERE { <http://ex/alice> <http://ex/name> ?n }");
+        let rows = run(
+            &store,
+            "SELECT ?n WHERE { <http://ex/alice> <http://ex/name> ?n }",
+        );
         assert_eq!(rows.len(), 1);
         let lit = rows[0][0].as_literal().unwrap();
         assert_eq!(&*lit.lexical(store.interner()), "Alice Prandel");
@@ -552,7 +582,10 @@ mod tests {
             "SELECT ?n WHERE { <http://ex/alice> <http://ex/knows> ?f . ?f <http://ex/name> ?n }",
         );
         assert_eq!(rows.len(), 1);
-        assert_eq!(&*rows[0][0].as_literal().unwrap().lexical(store.interner()), "Bob Krane");
+        assert_eq!(
+            &*rows[0][0].as_literal().unwrap().lexical(store.interner()),
+            "Bob Krane"
+        );
     }
 
     #[test]
@@ -563,7 +596,10 @@ mod tests {
             "SELECT ?n WHERE { ?a <http://ex/knows> ?b . ?b <http://ex/knows> ?c . ?c <http://ex/name> ?n }",
         );
         assert_eq!(rows.len(), 1);
-        assert_eq!(&*rows[0][0].as_literal().unwrap().lexical(store.interner()), "Carol Thorn");
+        assert_eq!(
+            &*rows[0][0].as_literal().unwrap().lexical(store.interner()),
+            "Carol Thorn"
+        );
     }
 
     #[test]
@@ -615,7 +651,10 @@ mod tests {
     #[test]
     fn unknown_iri_yields_empty() {
         let store = demo_store();
-        let rows = run(&store, "SELECT ?o WHERE { <http://ex/ghost> <http://ex/name> ?o }");
+        let rows = run(
+            &store,
+            "SELECT ?o WHERE { <http://ex/ghost> <http://ex/name> ?o }",
+        );
         assert!(rows.is_empty());
     }
 
@@ -694,7 +733,10 @@ mod tests {
             &store,
             "SELECT ?n WHERE { ?p <http://ex/name> ?n } ORDER BY DESC(?n) LIMIT 1",
         );
-        assert_eq!(&*rows[0][0].as_literal().unwrap().lexical(store.interner()), "Carol Thorn");
+        assert_eq!(
+            &*rows[0][0].as_literal().unwrap().lexical(store.interner()),
+            "Carol Thorn"
+        );
     }
 
     #[test]
@@ -759,6 +801,9 @@ mod tests {
     #[test]
     fn nested_groups_rejected() {
         assert!(parse("SELECT ?x WHERE { OPTIONAL { OPTIONAL { ?x <p> ?y } } }").is_err());
-        assert!(parse("SELECT ?x WHERE { { ?x <p> ?y } }").is_err(), "lone group needs UNION");
+        assert!(
+            parse("SELECT ?x WHERE { { ?x <p> ?y } }").is_err(),
+            "lone group needs UNION"
+        );
     }
 }

@@ -67,7 +67,10 @@ impl<'a> FederatedEngine<'a> {
                 "source {name} does not share the federation interner"
             );
         }
-        Self { sources, same_as: HashMap::new() }
+        Self {
+            sources,
+            same_as: HashMap::new(),
+        }
     }
 
     /// The shared interner.
@@ -83,8 +86,14 @@ impl<'a> FederatedEngine<'a> {
     /// Installs (or extends) the `owl:sameAs` link set, both directions.
     pub fn add_links(&mut self, links: impl IntoIterator<Item = Link>) {
         for link in links {
-            self.same_as.entry(link.left).or_default().push((link.right, link));
-            self.same_as.entry(link.right).or_default().push((link.left, link));
+            self.same_as
+                .entry(link.left)
+                .or_default()
+                .push((link.right, link));
+            self.same_as
+                .entry(link.right)
+                .or_default()
+                .push((link.left, link));
         }
     }
 
@@ -109,7 +118,10 @@ impl<'a> FederatedEngine<'a> {
         let vars = VarTable::from_query(query);
         let interner = self.interner();
         #[allow(unused_mut)]
-        let mut rows = vec![FedRow { bindings: vec![None; vars.len()], links: Vec::new() }];
+        let mut rows = vec![FedRow {
+            bindings: vec![None; vars.len()],
+            links: Vec::new(),
+        }];
         let mut remaining: Vec<&TriplePattern> = query.patterns.iter().collect();
 
         while !remaining.is_empty() && !rows.is_empty() {
@@ -121,7 +133,10 @@ impl<'a> FederatedEngine<'a> {
         for (a, b) in &query.unions {
             let mut next = self.extend_group(rows.clone(), a, &vars);
             next.extend(self.extend_group(rows, b, &vars));
-            next.sort_by(|x, y| format!("{:?}", (&x.bindings, &x.links)).cmp(&format!("{:?}", (&y.bindings, &y.links))));
+            next.sort_by(|x, y| {
+                format!("{:?}", (&x.bindings, &x.links))
+                    .cmp(&format!("{:?}", (&y.bindings, &y.links)))
+            });
             next.dedup_by(|x, y| x.bindings == y.bindings && x.links == y.links);
             rows = next;
         }
@@ -161,13 +176,20 @@ impl<'a> FederatedEngine<'a> {
         }
 
         // Filters, projection, DISTINCT, OFFSET, LIMIT.
-        let proj: Vec<usize> =
-            query.projection().iter().filter_map(|v| vars.index_of(v)).collect();
+        let proj: Vec<usize> = query
+            .projection()
+            .iter()
+            .filter_map(|v| vars.index_of(v))
+            .collect();
         let mut out = Vec::new();
         let mut seen = std::collections::HashSet::new();
         let mut to_skip = query.offset.unwrap_or(0);
         for row in rows {
-            if !query.filters.iter().all(|f| eval_filter(f, &row.bindings, &vars, interner)) {
+            if !query
+                .filters
+                .iter()
+                .all(|f| eval_filter(f, &row.bindings, &vars, interner))
+            {
                 continue;
             }
             let projected: Vec<Option<Term>> = proj.iter().map(|&i| row.bindings[i]).collect();
@@ -181,7 +203,10 @@ impl<'a> FederatedEngine<'a> {
             let mut links = row.links;
             links.sort_unstable();
             links.dedup();
-            out.push(Answer { row: projected, links });
+            out.push(Answer {
+                row: projected,
+                links,
+            });
             if let Some(limit) = query.limit {
                 if out.len() >= limit {
                     break;
@@ -200,7 +225,10 @@ impl<'a> FederatedEngine<'a> {
         }
         let interner = self.interner();
         rows.retain(|r| {
-            group.filters.iter().all(|f| eval_filter(f, &r.bindings, vars, interner))
+            group
+                .filters
+                .iter()
+                .all(|f| eval_filter(f, &r.bindings, vars, interner))
         });
         rows
     }
@@ -225,17 +253,20 @@ impl<'a> FederatedEngine<'a> {
             let resolve = |term: &PatternTerm| -> Result<Option<Term>, ()> {
                 match term {
                     PatternTerm::Var(v) => Ok(row.bindings[vars.index_of(v).expect("known var")]),
-                    PatternTerm::Iri(iri) => {
-                        interner.get(iri).map(|id| Some(Term::Iri(IriId(id)))).ok_or(())
-                    }
-                    PatternTerm::Literal(spec) => {
-                        resolve_literal(spec, interner).map(|l| Some(Term::Literal(l))).ok_or(())
-                    }
+                    PatternTerm::Iri(iri) => interner
+                        .get(iri)
+                        .map(|id| Some(Term::Iri(IriId(id))))
+                        .ok_or(()),
+                    PatternTerm::Literal(spec) => resolve_literal(spec, interner)
+                        .map(|l| Some(Term::Literal(l)))
+                        .ok_or(()),
                 }
             };
-            let (Ok(s), Ok(p), Ok(o)) =
-                (resolve(&pattern.subject), resolve(&pattern.predicate), resolve(&pattern.object))
-            else {
+            let (Ok(s), Ok(p), Ok(o)) = (
+                resolve(&pattern.subject),
+                resolve(&pattern.predicate),
+                resolve(&pattern.object),
+            ) else {
                 continue;
             };
             let p_iri = match p {
@@ -246,9 +277,11 @@ impl<'a> FederatedEngine<'a> {
 
             // Subject alternatives (entity translation across datasets).
             let subject_alts: Vec<(Option<IriId>, Option<Link>)> = match s {
-                Some(Term::Iri(id)) => {
-                    self.alternatives(id).into_iter().map(|(i, l)| (Some(i), l)).collect()
-                }
+                Some(Term::Iri(id)) => self
+                    .alternatives(id)
+                    .into_iter()
+                    .map(|(i, l)| (Some(i), l))
+                    .collect(),
                 Some(Term::Literal(_)) => continue,
                 None => vec![(None, None)],
             };
@@ -295,7 +328,11 @@ impl<'a> FederatedEngine<'a> {
                                         Some(t) => t,
                                         None => triple.object,
                                     };
-                                    ok &= bind(&mut new_row.bindings, vars.index_of(v).unwrap(), value);
+                                    ok &= bind(
+                                        &mut new_row.bindings,
+                                        vars.index_of(v).unwrap(),
+                                        value,
+                                    );
                                 }
                             }
                             if ok {
@@ -314,7 +351,9 @@ impl<'a> FederatedEngine<'a> {
         }
         // Deduplicate identical (bindings, links) rows produced via
         // different sources matching the same data.
-        out.sort_unstable_by(|a, b| format!("{:?}", (&a.bindings, &a.links)).cmp(&format!("{:?}", (&b.bindings, &b.links))));
+        out.sort_unstable_by(|a, b| {
+            format!("{:?}", (&a.bindings, &a.links)).cmp(&format!("{:?}", (&b.bindings, &b.links)))
+        });
         out.dedup_by(|a, b| a.bindings == b.bindings && a.links == b.links);
         out
     }
@@ -325,8 +364,9 @@ fn pick_next<'p>(
     remaining: &mut Vec<&'p TriplePattern>,
     vars: &VarTable,
 ) -> &'p TriplePattern {
-    let bound: Vec<bool> =
-        (0..vars.len()).map(|i| rows.iter().any(|r| r.bindings[i].is_some())).collect();
+    let bound: Vec<bool> = (0..vars.len())
+        .map(|i| rows.iter().any(|r| r.bindings[i].is_some()))
+        .collect();
     let score = |p: &TriplePattern| -> usize {
         [&p.subject, &p.predicate, &p.object]
             .iter()
@@ -336,7 +376,11 @@ fn pick_next<'p>(
             })
             .count()
     };
-    let (best, _) = remaining.iter().enumerate().max_by_key(|(_, p)| score(p)).expect("non-empty");
+    let (best, _) = remaining
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, p)| score(p))
+        .expect("non-empty");
     remaining.swap_remove(best)
 }
 
@@ -402,7 +446,11 @@ mod tests {
             .unwrap();
         assert_eq!(answers.len(), 3, "three articles about LeBron: {answers:?}");
         for a in &answers {
-            assert_eq!(a.links, vec![link], "every answer depends on the sameAs link");
+            assert_eq!(
+                a.links,
+                vec![link],
+                "every answer depends on the sameAs link"
+            );
         }
     }
 

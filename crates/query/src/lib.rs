@@ -54,8 +54,8 @@ mod federated;
 mod parser;
 
 pub use ast::{
-    CompareOp, FilterExpr, FilterOperand, LiteralSpec, OrderKey, PatternTerm, Query,
-    TriplePattern, Variable,
+    CompareOp, FilterExpr, FilterOperand, LiteralSpec, OrderKey, PatternTerm, Query, TriplePattern,
+    Variable,
 };
 pub use exec::{
     compare_terms, eval_filter, resolve_literal, term_eq, total_term_cmp, CompiledQuery, Row,

@@ -31,7 +31,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "query parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -39,7 +43,12 @@ impl std::error::Error for ParseError {}
 
 /// Parses one query.
 pub fn parse(input: &str) -> Result<Query, ParseError> {
-    Parser { input, pos: 0, prefixes: HashMap::new() }.parse_query()
+    Parser {
+        input,
+        pos: 0,
+        prefixes: HashMap::new(),
+    }
+    .parse_query()
 }
 
 struct Parser<'a> {
@@ -50,7 +59,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { position: self.pos, message: message.into() }
+        ParseError {
+            position: self.pos,
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -164,7 +176,11 @@ impl<'a> Parser<'a> {
             if matches!(predicate, PatternTerm::Literal(_)) {
                 return Err(self.err("literal in predicate position"));
             }
-            patterns.push(TriplePattern { subject, predicate, object });
+            patterns.push(TriplePattern {
+                subject,
+                predicate,
+                object,
+            });
             let _ = self.eat_symbol(".");
         }
         let mut order_by = Vec::new();
@@ -176,16 +192,29 @@ impl<'a> Parser<'a> {
                 self.skip_ws();
                 if self.eat_keyword("ASC") {
                     self.expect_symbol("(")?;
-                    let var = self.try_parse_var()?.ok_or_else(|| self.err("ASC needs a variable"))?;
+                    let var = self
+                        .try_parse_var()?
+                        .ok_or_else(|| self.err("ASC needs a variable"))?;
                     self.expect_symbol(")")?;
-                    order_by.push(OrderKey { var, descending: false });
+                    order_by.push(OrderKey {
+                        var,
+                        descending: false,
+                    });
                 } else if self.eat_keyword("DESC") {
                     self.expect_symbol("(")?;
-                    let var = self.try_parse_var()?.ok_or_else(|| self.err("DESC needs a variable"))?;
+                    let var = self
+                        .try_parse_var()?
+                        .ok_or_else(|| self.err("DESC needs a variable"))?;
                     self.expect_symbol(")")?;
-                    order_by.push(OrderKey { var, descending: true });
+                    order_by.push(OrderKey {
+                        var,
+                        descending: true,
+                    });
                 } else if let Some(var) = self.try_parse_var()? {
-                    order_by.push(OrderKey { var, descending: false });
+                    order_by.push(OrderKey {
+                        var,
+                        descending: false,
+                    });
                 } else {
                     break;
                 }
@@ -234,10 +263,23 @@ impl<'a> Parser<'a> {
         }
         for k in &order_by {
             if !body_vars.contains(&k.var) {
-                return Err(self.err(format!("ORDER BY variable {} not used in WHERE clause", k.var)));
+                return Err(self.err(format!(
+                    "ORDER BY variable {} not used in WHERE clause",
+                    k.var
+                )));
             }
         }
-        Ok(Query { select, distinct, patterns, filters, optionals, unions, order_by, offset, limit })
+        Ok(Query {
+            select,
+            distinct,
+            patterns,
+            filters,
+            optionals,
+            unions,
+            order_by,
+            offset,
+            limit,
+        })
     }
 
     /// Parses a `{ patterns/filters }` group (no nesting inside groups).
@@ -265,7 +307,11 @@ impl<'a> Parser<'a> {
             if matches!(predicate, PatternTerm::Literal(_)) {
                 return Err(self.err("literal in predicate position"));
             }
-            group.patterns.push(TriplePattern { subject, predicate, object });
+            group.patterns.push(TriplePattern {
+                subject,
+                predicate,
+                object,
+            });
             let _ = self.eat_symbol(".");
         }
         if group.patterns.is_empty() {
@@ -463,7 +509,10 @@ impl<'a> Parser<'a> {
         while let Some(c) = self.rest().chars().next() {
             if c.is_ascii_digit() {
                 self.pos += 1;
-            } else if c == '.' && !is_float && self.rest()[1..].starts_with(|d: char| d.is_ascii_digit()) {
+            } else if c == '.'
+                && !is_float
+                && self.rest()[1..].starts_with(|d: char| d.is_ascii_digit())
+            {
                 is_float = true;
                 self.pos += 1;
             } else {
@@ -475,19 +524,30 @@ impl<'a> Parser<'a> {
             return Err(self.err("expected number"));
         }
         if is_float {
-            text.parse::<f64>().map(LiteralSpec::Float).map_err(|_| self.err("invalid float"))
+            text.parse::<f64>()
+                .map(LiteralSpec::Float)
+                .map_err(|_| self.err("invalid float"))
         } else {
-            text.parse::<i64>().map(LiteralSpec::Integer).map_err(|_| self.err("invalid integer"))
+            text.parse::<i64>()
+                .map(LiteralSpec::Integer)
+                .map_err(|_| self.err("invalid integer"))
         }
     }
 
     fn parse_unsigned(&mut self) -> Result<usize, ParseError> {
         self.skip_ws();
         let start = self.pos;
-        while self.rest().chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        while self
+            .rest()
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit())
+        {
             self.pos += 1;
         }
-        self.input[start..self.pos].parse().map_err(|_| self.err("expected unsigned integer"))
+        self.input[start..self.pos]
+            .parse()
+            .map_err(|_| self.err("expected unsigned integer"))
     }
 
     fn parse_or_expr(&mut self) -> Result<FilterExpr, ParseError> {
@@ -521,7 +581,9 @@ impl<'a> Parser<'a> {
         }
         if self.eat_keyword("CONTAINS") {
             self.expect_symbol("(")?;
-            let var = self.try_parse_var()?.ok_or_else(|| self.err("CONTAINS needs a variable"))?;
+            let var = self
+                .try_parse_var()?
+                .ok_or_else(|| self.err("CONTAINS needs a variable"))?;
             self.expect_symbol(",")?;
             let needle = match self.parse_string_literal()? {
                 LiteralSpec::Str(s) => s,
@@ -532,7 +594,9 @@ impl<'a> Parser<'a> {
         }
         if self.eat_keyword("STRSTARTS") {
             self.expect_symbol("(")?;
-            let var = self.try_parse_var()?.ok_or_else(|| self.err("STRSTARTS needs a variable"))?;
+            let var = self
+                .try_parse_var()?
+                .ok_or_else(|| self.err("STRSTARTS needs a variable"))?;
             self.expect_symbol(",")?;
             let prefix = match self.parse_string_literal()? {
                 LiteralSpec::Str(s) => s,
@@ -637,8 +701,14 @@ mod tests {
             q.patterns[1].object,
             PatternTerm::Literal(LiteralSpec::LangStr("hi".into(), "en".into()))
         );
-        assert_eq!(q.patterns[2].object, PatternTerm::Literal(LiteralSpec::Float(2.5)));
-        assert_eq!(q.patterns[3].object, PatternTerm::Literal(LiteralSpec::Boolean(true)));
+        assert_eq!(
+            q.patterns[2].object,
+            PatternTerm::Literal(LiteralSpec::Float(2.5))
+        );
+        assert_eq!(
+            q.patterns[3].object,
+            PatternTerm::Literal(LiteralSpec::Boolean(true))
+        );
     }
 
     #[test]
@@ -652,8 +722,20 @@ mod tests {
         assert_eq!(q.filters.len(), 2);
         match &q.filters[0] {
             FilterExpr::And(a, b) => {
-                assert!(matches!(**a, FilterExpr::Compare { op: CompareOp::Gt, .. }));
-                assert!(matches!(**b, FilterExpr::Compare { op: CompareOp::Le, .. }));
+                assert!(matches!(
+                    **a,
+                    FilterExpr::Compare {
+                        op: CompareOp::Gt,
+                        ..
+                    }
+                ));
+                assert!(matches!(
+                    **b,
+                    FilterExpr::Compare {
+                        op: CompareOp::Le,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -671,7 +753,10 @@ mod tests {
         let q = parse("SELECT ?x WHERE { ?x <http://p> ?y . FILTER(?y != 3) }").unwrap();
         assert!(matches!(
             q.filters[0],
-            FilterExpr::Compare { op: CompareOp::Ne, .. }
+            FilterExpr::Compare {
+                op: CompareOp::Ne,
+                ..
+            }
         ));
     }
 
@@ -695,10 +780,9 @@ mod tests {
 
     #[test]
     fn parses_order_by_offset() {
-        let q = parse(
-            "SELECT ?x WHERE { ?x <http://p> ?y } ORDER BY DESC(?y) ?x LIMIT 5 OFFSET 10",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT ?x WHERE { ?x <http://p> ?y } ORDER BY DESC(?y) ?x LIMIT 5 OFFSET 10")
+                .unwrap();
         assert_eq!(q.order_by.len(), 2);
         assert!(q.order_by[0].descending);
         assert!(!q.order_by[1].descending);
@@ -714,10 +798,8 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let q = parse(
-            "# find things\nSELECT ?x WHERE {\n # pattern\n ?x <http://p> ?y .\n}",
-        )
-        .unwrap();
+        let q =
+            parse("# find things\nSELECT ?x WHERE {\n # pattern\n ?x <http://p> ?y .\n}").unwrap();
         assert_eq!(q.patterns.len(), 1);
     }
 

@@ -31,7 +31,9 @@ pub fn numeric_similarity(a: f64, b: f64) -> f64 {
 pub fn date_similarity(a: Date, b: Date, half_life_days: f64) -> f64 {
     debug_assert!(half_life_days > 0.0, "half-life must be positive");
     let days = a.days_between(b) as f64;
-    (-(std::f64::consts::LN_2) * days / half_life_days).exp().clamp(0.0, 1.0)
+    (-(std::f64::consts::LN_2) * days / half_life_days)
+        .exp()
+        .clamp(0.0, 1.0)
 }
 
 /// Similarity of two integers via [`numeric_similarity`].
@@ -54,7 +56,9 @@ pub fn half_life_similarity(a: f64, b: f64, half_diff: f64) -> f64 {
     if !a.is_finite() || !b.is_finite() {
         return if a == b { 1.0 } else { 0.0 };
     }
-    (-(std::f64::consts::LN_2) * (a - b).abs() / half_diff).exp().clamp(0.0, 1.0)
+    (-(std::f64::consts::LN_2) * (a - b).abs() / half_diff)
+        .exp()
+        .clamp(0.0, 1.0)
 }
 
 #[cfg(test)]

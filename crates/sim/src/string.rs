@@ -10,7 +10,11 @@
 pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     if short.is_empty() {
         return long.len();
     }
@@ -67,8 +71,18 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // Transpositions: compare matched sequences in order.
-    let b_matches: Vec<char> = b.iter().zip(&b_taken).filter(|(_, &t)| t).map(|(&c, _)| c).collect();
-    let t = matches.iter().zip(&b_matches).filter(|(x, y)| x != y).count() as f64 / 2.0;
+    let b_matches: Vec<char> = b
+        .iter()
+        .zip(&b_taken)
+        .filter(|(_, &t)| t)
+        .map(|(&c, _)| c)
+        .collect();
+    let t = matches
+        .iter()
+        .zip(&b_matches)
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
     let m = m as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
 }
@@ -128,7 +142,10 @@ pub fn token_cosine(a: &str, b: &str) -> f64 {
     if ca.is_empty() && cb.is_empty() {
         return 1.0;
     }
-    let dot: f64 = ca.iter().filter_map(|(k, v)| cb.get(k).map(|w| v * w)).sum();
+    let dot: f64 = ca
+        .iter()
+        .filter_map(|(k, v)| cb.get(k).map(|w| v * w))
+        .sum();
     let na: f64 = ca.values().map(|v| v * v).sum::<f64>().sqrt();
     let nb: f64 = cb.values().map(|v| v * v).sum::<f64>().sqrt();
     if na == 0.0 || nb == 0.0 {
@@ -240,7 +257,10 @@ mod tests {
 
     #[test]
     fn tokenization() {
-        assert_eq!(tokens("LeBron James, 2013 NBA-MVP!"), vec!["lebron", "james", "2013", "nba", "mvp"]);
+        assert_eq!(
+            tokens("LeBron James, 2013 NBA-MVP!"),
+            vec!["lebron", "james", "2013", "nba", "mvp"]
+        );
         assert!(tokens("---").is_empty());
     }
 

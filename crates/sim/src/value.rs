@@ -195,8 +195,7 @@ fn literal_similarity(a: &Literal, b: &Literal, interner: &Interner, cfg: &SimCo
         }
         // Cross-family: coerce through lexical forms if configured.
         (x, y) => {
-            let stringish =
-                |l: &Literal| matches!(l, Str(_) | LangStr { .. });
+            let stringish = |l: &Literal| matches!(l, Str(_) | LangStr { .. });
             if cfg.coerce_lexical && (stringish(x) || stringish(y)) {
                 string_sim(cfg, &x.lexical(interner), &y.lexical(interner))
             } else {
@@ -222,13 +221,19 @@ mod tests {
     #[test]
     fn identical_strings_score_one() {
         let (i, cfg) = setup();
-        assert_eq!(value_similarity(&s(&i, "LeBron James"), &s(&i, "LeBron James"), &i, &cfg), 1.0);
+        assert_eq!(
+            value_similarity(&s(&i, "LeBron James"), &s(&i, "LeBron James"), &i, &cfg),
+            1.0
+        );
     }
 
     #[test]
     fn case_insensitive_strings() {
         let (i, cfg) = setup();
-        assert_eq!(value_similarity(&s(&i, "LeBron James"), &s(&i, "lebron james"), &i, &cfg), 1.0);
+        assert_eq!(
+            value_similarity(&s(&i, "LeBron James"), &s(&i, "lebron james"), &i, &cfg),
+            1.0
+        );
     }
 
     #[test]
@@ -244,7 +249,10 @@ mod tests {
         let a: Term = Literal::Integer(1984).into();
         let b: Term = Literal::float(1986.0).into();
         let v = value_similarity(&a, &b, &i, &cfg);
-        assert!((v - 0.5).abs() < 1e-9, "two years apart with half-diff 2 is 0.5, got {v}");
+        assert!(
+            (v - 0.5).abs() < 1e-9,
+            "two years apart with half-diff 2 is 0.5, got {v}"
+        );
         // Six years apart is effectively dissimilar — below θ = 0.3.
         let c: Term = Literal::Integer(1990).into();
         assert!(value_similarity(&a, &c, &i, &cfg) < 0.15);
@@ -282,8 +290,14 @@ mod tests {
 
     #[test]
     fn iri_local_names() {
-        assert_eq!(iri_local_name("http://dbpedia.org/resource/LeBron_James"), "LeBron_James");
-        assert_eq!(iri_local_name("http://www.w3.org/2002/07/owl#Thing"), "Thing");
+        assert_eq!(
+            iri_local_name("http://dbpedia.org/resource/LeBron_James"),
+            "LeBron_James"
+        );
+        assert_eq!(
+            iri_local_name("http://www.w3.org/2002/07/owl#Thing"),
+            "Thing"
+        );
         assert_eq!(iri_local_name("no-slashes"), "no-slashes");
     }
 

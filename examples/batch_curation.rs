@@ -15,7 +15,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.5);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.5);
     let pair_kind = PaperPair::DbpediaNytimes;
 
     println!("generating {} at scale {scale} ...", pair_kind.label());
@@ -33,7 +36,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(7);
     let initial = degrade(&pair.truth, p0, r0, &mut rng);
     let (mp, mr) = measure(&initial, &pair.truth);
-    println!("  initial candidate links: {} (precision {mp:.2}, recall {mr:.2})", initial.len());
+    println!(
+        "  initial candidate links: {} (precision {mp:.2}, recall {mr:.2})",
+        initial.len()
+    );
 
     let cfg = AlexConfig {
         episode_size: pair_kind.suggested_episode_size(scale),

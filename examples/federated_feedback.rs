@@ -49,7 +49,10 @@ fn main() {
 
     // ---- ALEX engine over the full pair ---------------------------------
     let subjects: Vec<_> = dbpedia.subjects().collect();
-    let cfg = AlexConfig { epsilon: 0.0, ..Default::default() };
+    let cfg = AlexConfig {
+        epsilon: 0.0,
+        ..Default::default()
+    };
     let space = ExplorationSpace::build(
         &dbpedia,
         &nytimes,
@@ -75,7 +78,10 @@ fn main() {
         .expect("query is well-formed")
         .into_iter()
         .map(|a| {
-            let iri = a.row[0].expect("bound").as_iri().expect("articles are IRIs");
+            let iri = a.row[0]
+                .expect("bound")
+                .as_iri()
+                .expect("articles are IRIs");
             (nytimes.iri_str(iri).to_string(), a.links)
         })
         .collect()
@@ -86,13 +92,20 @@ fn main() {
     for (article, links) in &answers {
         println!("answer: {article} (via {} link(s))", links.len());
     }
-    assert_eq!(answers.len(), 2, "correct + wrong link each produce an answer");
+    assert_eq!(
+        answers.len(),
+        2,
+        "correct + wrong link each produce an answer"
+    );
 
     // ---- the user gives feedback on the answers -------------------------
     // article0 is about LeBron (correct); article1 is about Kobe (wrong).
     for (article, links) in answers {
         let verdict = article.ends_with("article0");
-        println!("user marks {article} as {}", if verdict { "correct" } else { "incorrect" });
+        println!(
+            "user marks {article} as {}",
+            if verdict { "correct" } else { "incorrect" }
+        );
         for link in links {
             engine.process_feedback(link, verdict);
         }
@@ -101,7 +114,10 @@ fn main() {
 
     // ---- effect on the candidate links -----------------------------------
     assert!(engine.candidates().contains(good));
-    assert!(!engine.candidates().contains(wrong), "rejected link is removed");
+    assert!(
+        !engine.candidates().contains(wrong),
+        "rejected link is removed"
+    );
     assert!(engine.blacklist().contains(&wrong), "and blacklisted");
     println!("\nafter feedback: wrong link removed and blacklisted");
 
@@ -111,7 +127,13 @@ fn main() {
         .candidates()
         .iter()
         .filter(|l| *l != good)
-        .map(|l| format!("{} <-> {}", dbpedia.iri_str(l.left), nytimes.iri_str(l.right)))
+        .map(|l| {
+            format!(
+                "{} <-> {}",
+                dbpedia.iri_str(l.left),
+                nytimes.iri_str(l.right)
+            )
+        })
         .collect();
     println!("discovered {} new candidate link(s):", discovered.len());
     for d in &discovered {
@@ -124,8 +146,14 @@ fn main() {
 
     // Re-running the query answers through the curated links only.
     let answers = run_query(engine.candidates().iter().collect());
-    let wrong_answers: HashSet<String> =
-        answers.iter().filter(|(a, _)| !a.ends_with("article0")).map(|(a, _)| a.clone()).collect();
-    assert!(wrong_answers.is_empty(), "no wrong answers remain: {wrong_answers:?}");
+    let wrong_answers: HashSet<String> = answers
+        .iter()
+        .filter(|(a, _)| !a.ends_with("article0"))
+        .map(|(a, _)| a.clone())
+        .collect();
+    assert!(
+        wrong_answers.is_empty(),
+        "no wrong answers remain: {wrong_answers:?}"
+    );
     println!("\nre-running the query now returns only the correct article");
 }

@@ -8,9 +8,9 @@
 
 use std::io::Write;
 
+use alex::datagen::{generate, PaperPair};
 use alex::paris::{ParisConfig, ParisLinker};
 use alex::rdf::{ntriples, Interner, Store};
-use alex::datagen::{generate, PaperPair};
 
 fn main() -> std::io::Result<()> {
     // 1. Generate a small pair and persist both sides as N-Triples.
@@ -41,7 +41,10 @@ fn main() -> std::io::Result<()> {
     println!("reloaded right: {n} triples");
 
     // 3. Automatic linking on the reloaded stores.
-    let config = ParisConfig { iterations: 5, ..Default::default() };
+    let config = ParisConfig {
+        iterations: 5,
+        ..Default::default()
+    };
     let output = ParisLinker::new(config).run(&left, &right);
     println!(
         "PARIS examined {} candidate pairs, produced {} links",
@@ -59,7 +62,11 @@ fn main() -> std::io::Result<()> {
     let mut file = std::fs::File::create(&links_path)?;
     ntriples::write_store(&link_store, &mut file)?;
     file.flush()?;
-    println!("wrote {} owl:sameAs links to {}", link_store.len(), links_path.display());
+    println!(
+        "wrote {} owl:sameAs links to {}",
+        link_store.len(),
+        links_path.display()
+    );
 
     // 5. Show the five most confident links, human-readably.
     println!("\ntop links:");

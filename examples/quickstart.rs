@@ -8,8 +8,8 @@
 
 use std::collections::HashSet;
 
-use alex::rdf::{Interner, Link, Literal, Store};
 use alex::paris::ParisLinker;
+use alex::rdf::{Interner, Link, Literal, Store};
 use alex::{AlexConfig, AlexDriver, ExactOracle};
 
 fn main() {
@@ -54,17 +54,28 @@ fn main() {
 
         truth.insert(Link::new(l, r));
     }
-    println!("datasets: dbpedia={} triples, nytimes={} triples", dbpedia.len(), nytimes.len());
+    println!(
+        "datasets: dbpedia={} triples, nytimes={} triples",
+        dbpedia.len(),
+        nytimes.len()
+    );
 
     // ---- 2. Automatic linking (PARIS) -----------------------------------
     let paris = ParisLinker::default().run(&dbpedia, &nytimes);
     let initial = paris.above_threshold(0.5);
-    println!("PARIS proposed {} links (of {} true links)", initial.len(), truth.len());
+    println!(
+        "PARIS proposed {} links (of {} true links)",
+        initial.len(),
+        truth.len()
+    );
 
     // ---- 3. ALEX: learn to explore around approved links ----------------
-    let cfg = AlexConfig { episode_size: 16, partitions: 2, ..Default::default() };
-    let mut driver = AlexDriver::new(&dbpedia, &nytimes, &initial, cfg)
-        .expect("config is valid");
+    let cfg = AlexConfig {
+        episode_size: 16,
+        partitions: 2,
+        ..Default::default()
+    };
+    let mut driver = AlexDriver::new(&dbpedia, &nytimes, &initial, cfg).expect("config is valid");
     let oracle = ExactOracle::new(truth.clone());
     let outcome = driver.run(&oracle, &truth);
 
@@ -83,5 +94,8 @@ fn main() {
         "converged: strict={:?} relaxed={:?}; final F1 {:.2}",
         outcome.strict_convergence, outcome.relaxed_convergence, q.f1
     );
-    assert!(q.f1 >= outcome.reports[0].quality.f1, "ALEX should not make links worse");
+    assert!(
+        q.f1 >= outcome.reports[0].quality.f1,
+        "ALEX should not make links worse"
+    );
 }

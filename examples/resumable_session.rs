@@ -8,8 +8,8 @@
 //! ```
 
 use alex::datagen::{degrade, generate, PaperPair};
-use alex::{AlexConfig, AlexDriver, ExactOracle};
 use alex::SessionSnapshot;
+use alex::{AlexConfig, AlexDriver, ExactOracle};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,8 +26,7 @@ fn main() {
     };
 
     // --- day one -----------------------------------------------------------
-    let mut driver =
-        AlexDriver::new(&pair.left, &pair.right, &initial, cfg).expect("valid config");
+    let mut driver = AlexDriver::new(&pair.left, &pair.right, &initial, cfg).expect("valid config");
     let oracle = ExactOracle::new(pair.truth.clone());
     let day1 = driver.run(&oracle, &pair.truth);
     let q1 = day1.final_quality();
@@ -56,10 +55,15 @@ fn main() {
     // Lift the episode cap for the continued run.
     assert_eq!(driver.config().max_episodes, 3, "config round-trips");
     let restored_with_budget = SessionSnapshot {
-        config: AlexConfig { max_episodes: 60, ..restored.config.clone() },
+        config: AlexConfig {
+            max_episodes: 60,
+            ..restored.config.clone()
+        },
         ..restored
     };
-    let mut driver2 = restored_with_budget.restore(&pair.left, &pair.right).expect("restore");
+    let mut driver2 = restored_with_budget
+        .restore(&pair.left, &pair.right)
+        .expect("restore");
     let day2 = driver2.run(&oracle, &pair.truth);
     let q2 = day2.final_quality();
     println!(

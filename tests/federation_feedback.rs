@@ -40,7 +40,10 @@ fn world(n: usize) -> World {
 
 fn engine(w: &World, initial: &[Link], epsilon: f64) -> PartitionEngine {
     let subjects: Vec<_> = w.left.subjects().collect();
-    let cfg = AlexConfig { epsilon, ..Default::default() };
+    let cfg = AlexConfig {
+        epsilon,
+        ..Default::default()
+    };
     let space = ExplorationSpace::build(
         &w.left,
         &w.right,
@@ -53,8 +56,7 @@ fn engine(w: &World, initial: &[Link], epsilon: f64) -> PartitionEngine {
 }
 
 fn query_articles(w: &World, links: Vec<Link>) -> Vec<(String, Vec<Link>)> {
-    let mut fed =
-        FederatedEngine::new(vec![("left".into(), &w.left), ("right".into(), &w.right)]);
+    let mut fed = FederatedEngine::new(vec![("left".into(), &w.left), ("right".into(), &w.right)]);
     fed.add_links(links);
     fed.execute_str(
         "SELECT ?article WHERE { \
@@ -63,7 +65,14 @@ fn query_articles(w: &World, links: Vec<Link>) -> Vec<(String, Vec<Link>)> {
     )
     .unwrap()
     .into_iter()
-    .map(|a| (w.right.iri_str(a.row[0].expect("bound").as_iri().unwrap()).to_string(), a.links))
+    .map(|a| {
+        (
+            w.right
+                .iri_str(a.row[0].expect("bound").as_iri().unwrap())
+                .to_string(),
+            a.links,
+        )
+    })
     .collect()
 }
 
@@ -91,7 +100,11 @@ fn approving_answers_discovers_more_links() {
     // Exploration around the approved link found sibling pairs; re-running
     // the query returns more answers than before.
     let answers = query_articles(&w, eng.candidates().iter().collect());
-    assert!(answers.len() > 1, "discovery should surface new answers, got {}", answers.len());
+    assert!(
+        answers.len() > 1,
+        "discovery should surface new answers, got {}",
+        answers.len()
+    );
 }
 
 #[test]
@@ -121,7 +134,10 @@ fn rejecting_answers_removes_their_links_everywhere() {
     assert!(!eng.candidates().contains(wrong));
     assert!(eng.blacklist().contains(&wrong));
     for (_, links) in query_articles(&w, eng.candidates().iter().collect()) {
-        assert!(!links.contains(&wrong), "no answer may use the rejected link");
+        assert!(
+            !links.contains(&wrong),
+            "no answer may use the rejected link"
+        );
     }
 }
 
@@ -159,7 +175,10 @@ fn feedback_loop_converges_to_truth() {
 
     let finals: HashSet<Link> = eng.candidates().to_set();
     let correct = finals.intersection(&truth).count();
-    assert!(correct >= 7, "should find nearly all true links, got {correct}/8");
+    assert!(
+        correct >= 7,
+        "should find nearly all true links, got {correct}/8"
+    );
     let wrong = finals.difference(&truth).count();
     assert!(wrong <= 1, "wrong links should be cleaned up, got {wrong}");
 }
@@ -168,8 +187,7 @@ fn feedback_loop_converges_to_truth() {
 fn provenance_is_minimal_per_answer() {
     // Answers using one link report exactly that link, not the whole set.
     let w = world(3);
-    let mut fed =
-        FederatedEngine::new(vec![("left".into(), &w.left), ("right".into(), &w.right)]);
+    let mut fed = FederatedEngine::new(vec![("left".into(), &w.left), ("right".into(), &w.right)]);
     fed.add_links(w.truth.clone());
     let answers = fed
         .execute_str(

@@ -48,7 +48,9 @@ const TIME_BUDGET: Duration = Duration::from_millis(10);
 
 impl Bencher {
     fn new() -> Self {
-        Self { samples: Vec::new() }
+        Self {
+            samples: Vec::new(),
+        }
     }
 
     /// Times `routine` repeatedly.
@@ -99,14 +101,9 @@ impl Bencher {
 }
 
 /// Benchmark registry; measures and prints each registered function.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Self { _private: () }
-    }
 }
 
 impl Criterion {
@@ -122,7 +119,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 }
 
@@ -206,7 +207,7 @@ mod tests {
         let mut c = Criterion::default();
         let mut hits = 0u64;
         c.bench_function("smoke", |b| b.iter(|| hits += 1));
-        assert!(hits >= WARMUP_ITERS as u64 + 1);
+        assert!(hits > WARMUP_ITERS as u64);
     }
 
     #[test]

@@ -101,12 +101,21 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
 
 fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
         cap,
     });
-    (Sender { shared: shared.clone() }, Receiver { shared })
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
 }
 
 impl<T> Sender<T> {
@@ -153,7 +162,12 @@ impl<T> Sender<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
     }
 
     /// Whether the queue is empty.
@@ -227,7 +241,12 @@ impl<T> Receiver<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).queue.len()
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
     }
 
     /// Whether the queue is empty.
@@ -238,15 +257,27 @@ impl<T> Receiver<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).senders += 1;
-        Sender { shared: self.shared.clone() }
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
     }
 }
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.shared.state.lock().unwrap_or_else(|e| e.into_inner()).receivers += 1;
-        Receiver { shared: self.shared.clone() }
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .receivers += 1;
+        Receiver {
+            shared: self.shared.clone(),
+        }
     }
 }
 
@@ -283,7 +314,10 @@ mod tests {
         for i in 0..5 {
             tx.send(i).unwrap();
         }
-        assert_eq!((0..5).map(|_| rx.recv().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            (0..5).map(|_| rx.recv().unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 
     #[test]
@@ -326,7 +360,10 @@ mod tests {
             tx.send(i).unwrap();
         }
         drop(tx);
-        let mut all: Vec<i32> = workers.into_iter().flat_map(|w| w.join().unwrap()).collect();
+        let mut all: Vec<i32> = workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
     }

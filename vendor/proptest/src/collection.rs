@@ -22,8 +22,7 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
-        let len = self.size.start
-            + rng.below((self.size.end - self.size.start) as u64) as usize;
+        let len = self.size.start + rng.below((self.size.end - self.size.start) as u64) as usize;
         (0..len).map(|_| self.element.generate(rng)).collect()
     }
 }
@@ -54,8 +53,7 @@ where
     type Value = HashSet<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
-        let target = self.size.start
-            + rng.below((self.size.end - self.size.start) as u64) as usize;
+        let target = self.size.start + rng.below((self.size.end - self.size.start) as u64) as usize;
         let mut out = HashSet::new();
         let mut attempts = 0usize;
         while out.len() < target && attempts < target * 20 + 50 {

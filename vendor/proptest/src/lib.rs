@@ -222,6 +222,7 @@ macro_rules! __proptest_fns {
                 $crate::__proptest_bind!(rng; $($params)*);
                 // Bodies may `return Ok(())` to skip a case, like
                 // upstream proptest's Result-returning test closures.
+                #[allow(clippy::redundant_closure_call)]
                 let case_result: ::std::result::Result<(), ::std::string::String> =
                     (|| {
                         $body
@@ -268,7 +269,7 @@ mod tests {
 
         #[test]
         fn plain_typed_params_work(b: bool, n: u64) {
-            prop_assert!(b || !b);
+            prop_assert!(matches!(b, true | false));
             let _ = n;
         }
 

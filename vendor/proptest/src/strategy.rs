@@ -46,7 +46,9 @@ impl<V> BoxedStrategy<V> {
     where
         S: Strategy<Value = V> + 'static,
     {
-        Self { inner: Box::new(strategy) }
+        Self {
+            inner: Box::new(strategy),
+        }
     }
 }
 

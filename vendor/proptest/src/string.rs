@@ -49,7 +49,9 @@ pub(crate) fn compile(pattern: &str) -> Result<RegexStrategy, Error> {
             '\\' => Node::Literal(parse_escape(&mut chars)?),
             '.' => Node::Class(vec![(' ', '~')]),
             '(' | ')' | '|' | '^' | '$' => {
-                return Err(Error(format!("unsupported regex syntax {c:?} in {pattern:?}")));
+                return Err(Error(format!(
+                    "unsupported regex syntax {c:?} in {pattern:?}"
+                )));
             }
             other => Node::Literal(other),
         };
@@ -174,7 +176,10 @@ impl RegexStrategy {
 }
 
 fn pick_from_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
-    let total: u64 = ranges.iter().map(|(lo, hi)| *hi as u64 - *lo as u64 + 1).sum();
+    let total: u64 = ranges
+        .iter()
+        .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+        .sum();
     let mut idx = rng.below(total);
     for (lo, hi) in ranges {
         let size = *hi as u64 - *lo as u64 + 1;

@@ -87,7 +87,10 @@ pub trait Rng: RngCore {
     where
         Self: Sized,
     {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} outside [0, 1]"
+        );
         unit_f64(self.next_u64()) < p
     }
 }
@@ -136,7 +139,7 @@ int_range_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 /// Maps a uniform u64 onto `[0, span)` with Lemire's multiply-shift
 /// (negligible bias for the span sizes used here).
 fn widemul_mod(x: u64, span: u128) -> u128 {
-    ((x as u128 * span) >> 64) as u128
+    (x as u128 * span) >> 64
 }
 
 macro_rules! float_range_impl {

@@ -12,7 +12,14 @@ impl StdRng {
     fn from_words(s: [u64; 4]) -> Self {
         // xoshiro256++ must not start from the all-zero state.
         if s == [0, 0, 0, 0] {
-            Self { s: [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, 1] }
+            Self {
+                s: [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    1,
+                ],
+            }
         } else {
             Self { s }
         }

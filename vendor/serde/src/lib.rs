@@ -29,7 +29,9 @@ impl Error {
 
     /// Wraps the error with surrounding context (e.g. a field name).
     pub fn context(self, what: &str) -> Self {
-        Self { msg: format!("{what}: {}", self.msg) }
+        Self {
+            msg: format!("{what}: {}", self.msg),
+        }
     }
 }
 
@@ -171,9 +173,7 @@ impl<T: Deserialize> Deserialize for Vec<T> {
             Value::Array(items) => items
                 .iter()
                 .enumerate()
-                .map(|(i, item)| {
-                    T::from_value(item).map_err(|e| e.context(&format!("index {i}")))
-                })
+                .map(|(i, item)| T::from_value(item).map_err(|e| e.context(&format!("index {i}"))))
                 .collect(),
             other => Err(Error::new(format!("expected array, got {}", other.kind()))),
         }

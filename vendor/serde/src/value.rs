@@ -223,15 +223,24 @@ mod tests {
     fn compact_rendering() {
         let v = Value::Object(vec![
             ("a".into(), Value::Number(Number::U64(1))),
-            ("b".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
             ("c".into(), Value::String("x\"y\n".into())),
         ]);
-        assert_eq!(v.to_json_string(false), r#"{"a":1,"b":[true,null],"c":"x\"y\n"}"#);
+        assert_eq!(
+            v.to_json_string(false),
+            r#"{"a":1,"b":[true,null],"c":"x\"y\n"}"#
+        );
     }
 
     #[test]
     fn pretty_rendering_indents() {
-        let v = Value::Object(vec![("k".into(), Value::Array(vec![Value::Number(Number::I64(-3))]))]);
+        let v = Value::Object(vec![(
+            "k".into(),
+            Value::Array(vec![Value::Number(Number::I64(-3))]),
+        )]);
         let text = v.to_json_string(true);
         assert!(text.contains("\n  \"k\": [\n    -3\n  ]\n"), "got: {text}");
     }

@@ -120,7 +120,11 @@ fn parse_struct(input: TokenStream) -> StructDef {
         fields.push(Field { name: fname, skip });
     }
 
-    StructDef { name, container_default, fields }
+    StructDef {
+        name,
+        container_default,
+        fields,
+    }
 }
 
 /// Derives the stand-in `serde::Serialize` (value-tree rendering).
@@ -178,7 +182,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         let mut inits = String::new();
         for f in &def.fields {
             if f.skip {
-                inits.push_str(&format!("{n}: ::std::default::Default::default(),\n", n = f.name));
+                inits.push_str(&format!(
+                    "{n}: ::std::default::Default::default(),\n",
+                    n = f.name
+                ));
             } else {
                 inits.push_str(&format!(
                     "{n}: match v.get(\"{n}\") {{

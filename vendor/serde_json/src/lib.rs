@@ -19,11 +19,19 @@ pub struct Error {
 
 impl Error {
     fn parse(msg: impl Into<String>, line: usize, column: usize) -> Self {
-        Self { msg: msg.into(), line, column }
+        Self {
+            msg: msg.into(),
+            line,
+            column,
+        }
     }
 
     fn data(msg: impl Into<String>) -> Self {
-        Self { msg: msg.into(), line: 0, column: 0 }
+        Self {
+            msg: msg.into(),
+            line: 0,
+            column: 0,
+        }
     }
 
     /// 1-based line of a parse error (0 for data-model errors).
@@ -40,7 +48,11 @@ impl Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line > 0 {
-            write!(f, "{} at line {} column {}", self.msg, self.line, self.column)
+            write!(
+                f,
+                "{} at line {} column {}",
+                self.msg, self.line, self.column
+            )
         } else {
             write!(f, "{}", self.msg)
         }
@@ -77,7 +89,12 @@ pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
 
 /// Parses JSON text into a raw [`Value`].
 pub fn parse_value_str(text: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0, line: 1, column: 1 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        line: 1,
+        column: 1,
+    };
     p.skip_ws();
     let v = p.value(0)?;
     p.skip_ws();
@@ -129,7 +146,9 @@ impl<'a> Parser<'a> {
                 self.bump();
                 Ok(())
             }
-            Some(got) => Err(self.err(format!("expected '{}', found '{}'", b as char, got as char))),
+            Some(got) => {
+                Err(self.err(format!("expected '{}', found '{}'", b as char, got as char)))
+            }
             None => Err(self.err("unexpected end of input")),
         }
     }
@@ -290,8 +309,7 @@ impl<'a> Parser<'a> {
                                 let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(c).ok_or_else(|| self.err("invalid codepoint"))?
                             } else {
-                                char::from_u32(hi)
-                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
                             };
                             out.push(c);
                         }
@@ -311,8 +329,12 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, Error> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("unexpected end in \\u escape"))?;
-            let d = (b as char).to_digit(16).ok_or_else(|| self.err("invalid hex digit"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("unexpected end in \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
             v = v * 16 + d;
         }
         Ok(v)
@@ -321,9 +343,7 @@ impl<'a> Parser<'a> {
 
 fn flush_utf8(out: &mut String, utf8: &mut Vec<u8>, p: &Parser<'_>) -> Result<(), Error> {
     if !utf8.is_empty() {
-        out.push_str(
-            std::str::from_utf8(utf8).map_err(|_| p.err("invalid UTF-8 in string"))?,
-        );
+        out.push_str(std::str::from_utf8(utf8).map_err(|_| p.err("invalid UTF-8 in string"))?);
         utf8.clear();
     }
     Ok(())
@@ -337,11 +357,26 @@ mod tests {
     fn parse_scalars() {
         assert_eq!(parse_value_str("null").unwrap(), Value::Null);
         assert_eq!(parse_value_str("true").unwrap(), Value::Bool(true));
-        assert_eq!(parse_value_str(" 42 ").unwrap(), Value::Number(Number::U64(42)));
-        assert_eq!(parse_value_str("-7").unwrap(), Value::Number(Number::I64(-7)));
-        assert_eq!(parse_value_str("0.25").unwrap(), Value::Number(Number::F64(0.25)));
-        assert_eq!(parse_value_str("1e3").unwrap(), Value::Number(Number::F64(1000.0)));
-        assert_eq!(parse_value_str("\"a\\nb\"").unwrap(), Value::String("a\nb".into()));
+        assert_eq!(
+            parse_value_str(" 42 ").unwrap(),
+            Value::Number(Number::U64(42))
+        );
+        assert_eq!(
+            parse_value_str("-7").unwrap(),
+            Value::Number(Number::I64(-7))
+        );
+        assert_eq!(
+            parse_value_str("0.25").unwrap(),
+            Value::Number(Number::F64(0.25))
+        );
+        assert_eq!(
+            parse_value_str("1e3").unwrap(),
+            Value::Number(Number::F64(1000.0))
+        );
+        assert_eq!(
+            parse_value_str("\"a\\nb\"").unwrap(),
+            Value::String("a\nb".into())
+        );
     }
 
     #[test]
@@ -355,7 +390,10 @@ mod tests {
 
     #[test]
     fn unicode_escapes_and_surrogates() {
-        assert_eq!(parse_value_str(r#""é""#).unwrap(), Value::String("é".into()));
+        assert_eq!(
+            parse_value_str(r#""é""#).unwrap(),
+            Value::String("é".into())
+        );
         assert_eq!(
             parse_value_str(r#""😀""#).unwrap(),
             Value::String("😀".into())
@@ -380,11 +418,18 @@ mod tests {
             ("n".into(), Value::Number(Number::F64(0.30000000000000004))),
             ("i".into(), Value::Number(Number::I64(-9007199254740993))),
             ("u".into(), Value::Number(Number::U64(u64::MAX))),
-            ("arr".into(), Value::Array(vec![Value::Bool(false), Value::Null])),
+            (
+                "arr".into(),
+                Value::Array(vec![Value::Bool(false), Value::Null]),
+            ),
         ]);
         for pretty in [false, true] {
             let text = v.to_json_string(pretty);
-            assert_eq!(parse_value_str(&text).unwrap(), v, "pretty={pretty}: {text}");
+            assert_eq!(
+                parse_value_str(&text).unwrap(),
+                v,
+                "pretty={pretty}: {text}"
+            );
         }
     }
 
