@@ -1,0 +1,228 @@
+//! Parallel-scaling benchmark: exploration-space construction and the
+//! PARIS pipeline at 1/2/4/8 threads on one datagen scenario, with the
+//! shared similarity cache. Writes `BENCH_scaling.json` so future PRs have
+//! a perf trajectory, and verifies that every thread count produces output
+//! bit-identical to the serial run (the determinism guarantee of
+//! `alex-core::parallel`) — a mismatch exits non-zero.
+//!
+//! ```sh
+//! cargo run --release -p alex-bench --bin exp_scaling \
+//!     [--scale S] [--threads 1,2,4,8] [--data-seed N] [--out FILE]
+//! ```
+
+use std::time::Instant;
+
+use alex_core::parallel::{Executor, THREADS_ENV};
+use alex_core::{ExplorationSpace, DEFAULT_MAX_BLOCK};
+use alex_datagen::{generate, PaperPair};
+use alex_paris::{ParisConfig, ParisLinker, ParisOutput};
+use alex_rdf::IriId;
+use alex_sim::{SimCache, SimConfig};
+use serde::Serialize;
+
+const THETA: f64 = 0.3;
+
+#[derive(Serialize)]
+struct ThreadResult {
+    threads: usize,
+    space_build_ms: f64,
+    /// Serial space-build time / this thread count's time.
+    space_speedup: f64,
+    blocking_ms: f64,
+    equivalence_ms: f64,
+    alignment_ms: f64,
+    paris_ms: f64,
+    paris_speedup: f64,
+    space_cache_hits: u64,
+    space_cache_misses: u64,
+    space_cache_hit_rate: f64,
+    paris_cache_hits: u64,
+    paris_cache_misses: u64,
+    paris_cache_hit_rate: f64,
+    /// Space and PARIS output bit-identical to the 1-thread run.
+    identical_to_serial: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scenario: String,
+    scale: f64,
+    data_seed: u64,
+    /// Available hardware parallelism — speedups are bounded by this.
+    cores: usize,
+    left_triples: usize,
+    right_triples: usize,
+    space_pairs: usize,
+    paris_links: usize,
+    results: Vec<ThreadResult>,
+}
+
+/// Every float and id of the space, in iteration order: equal fingerprints
+/// mean bit-identical spaces.
+fn space_fingerprint(space: &ExplorationSpace) -> Vec<u64> {
+    let mut out = Vec::new();
+    for link in space.links() {
+        out.push((u64::from(link.left.0 .0) << 32) | u64::from(link.right.0 .0));
+        let fs = space.feature_set(link).expect("link is in the space");
+        for f in fs.features() {
+            out.push((u64::from(f.key.left.0 .0) << 32) | u64::from(f.key.right.0 .0));
+            out.push(f.score.to_bits());
+        }
+    }
+    out
+}
+
+/// Ids and score bits of the final PARIS links, in output order.
+fn paris_fingerprint(out: &ParisOutput) -> Vec<u64> {
+    let mut fp = Vec::new();
+    for s in &out.links {
+        fp.push((u64::from(s.link.left.0 .0) << 32) | u64::from(s.link.right.0 .0));
+        fp.push(s.score.to_bits());
+    }
+    fp
+}
+
+fn main() {
+    // An inherited ALEX_THREADS would override every per-run thread count
+    // below; clear it so the sweep measures what it claims to.
+    std::env::remove_var(THREADS_ENV);
+
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = 1.0f64;
+    let mut data_seed = 42u64;
+    let mut out_path = "BENCH_scaling.json".to_string();
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    for w in args.windows(2) {
+        match w[0].as_str() {
+            "--scale" => scale = w[1].parse().unwrap_or(scale),
+            "--data-seed" => data_seed = w[1].parse().unwrap_or(data_seed),
+            "--out" => out_path = w[1].clone(),
+            "--threads" => {
+                threads = w[1]
+                    .split(',')
+                    .filter_map(|t| t.trim().parse().ok())
+                    .filter(|&t| t >= 1)
+                    .collect();
+            }
+            _ => {}
+        }
+    }
+    if threads.is_empty() || threads[0] != 1 {
+        threads.insert(0, 1); // the serial oracle anchors every comparison
+    }
+
+    let kind = PaperPair::DbpediaNytimes;
+    let pair = generate(&kind.spec(scale, data_seed));
+    let subjects: Vec<IriId> = pair.left.subjects().collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "scenario {} at scale {scale}: {} left / {} right triples, {} subjects, {cores} core(s)",
+        kind.label(),
+        pair.left.len(),
+        pair.right.len(),
+        subjects.len()
+    );
+    println!(
+        "{:>7} | {:>12} | {:>7} | {:>10} | {:>10} | {:>10} | {:>8} | {:>9}",
+        "threads", "space ms", "speedup", "block ms", "eqv ms", "align ms", "hit rate", "identical"
+    );
+
+    let mut baseline_space_ms = 0.0;
+    let mut baseline_paris_ms = 0.0;
+    let mut baseline_space_fp: Vec<u64> = Vec::new();
+    let mut baseline_paris_fp: Vec<u64> = Vec::new();
+    let mut space_pairs = 0;
+    let mut paris_links = 0;
+    let mut results = Vec::new();
+    let mut all_identical = true;
+
+    for &t in &threads {
+        let executor = Executor::new(t);
+        let cache = SimCache::new(SimConfig::default());
+        let t0 = Instant::now();
+        let space = ExplorationSpace::build_with(
+            &pair.left,
+            &pair.right,
+            &subjects,
+            THETA,
+            DEFAULT_MAX_BLOCK,
+            &executor,
+            &cache,
+        );
+        let space_build_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let space_stats = cache.stats();
+        let space_fp = space_fingerprint(&space);
+
+        let paris_cfg = ParisConfig {
+            threads: t,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let out = ParisLinker::new(paris_cfg).run(&pair.left, &pair.right);
+        let paris_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let paris_fp = paris_fingerprint(&out);
+
+        if t == 1 && baseline_space_fp.is_empty() {
+            baseline_space_ms = space_build_ms;
+            baseline_paris_ms = paris_ms;
+            baseline_space_fp = space_fp.clone();
+            baseline_paris_fp = paris_fp.clone();
+            space_pairs = space.len();
+            paris_links = out.links.len();
+        }
+        let identical = space_fp == baseline_space_fp && paris_fp == baseline_paris_fp;
+        all_identical &= identical;
+
+        let s = out.stats;
+        println!(
+            "{:>7} | {:>12.1} | {:>6.2}x | {:>10.1} | {:>10.1} | {:>10.1} | {:>7.1}% | {:>9}",
+            t,
+            space_build_ms,
+            baseline_space_ms / space_build_ms.max(1e-9),
+            s.blocking_seconds * 1000.0,
+            s.equivalence_seconds * 1000.0,
+            s.alignment_seconds * 1000.0,
+            space_stats.hit_rate() * 100.0,
+            identical
+        );
+        results.push(ThreadResult {
+            threads: t,
+            space_build_ms,
+            space_speedup: baseline_space_ms / space_build_ms.max(1e-9),
+            blocking_ms: s.blocking_seconds * 1000.0,
+            equivalence_ms: s.equivalence_seconds * 1000.0,
+            alignment_ms: s.alignment_seconds * 1000.0,
+            paris_ms,
+            paris_speedup: baseline_paris_ms / paris_ms.max(1e-9),
+            space_cache_hits: space_stats.hits,
+            space_cache_misses: space_stats.misses,
+            space_cache_hit_rate: space_stats.hit_rate(),
+            paris_cache_hits: s.cache.hits,
+            paris_cache_misses: s.cache.misses,
+            paris_cache_hit_rate: s.cache.hit_rate(),
+            identical_to_serial: identical,
+        });
+    }
+
+    let report = Report {
+        scenario: kind.label().to_string(),
+        scale,
+        data_seed,
+        cores,
+        left_triples: pair.left.len(),
+        right_triples: pair.right.len(),
+        space_pairs,
+        paris_links,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write benchmark report");
+    println!("wrote {out_path}");
+
+    if !all_identical {
+        eprintln!("FAIL: some thread count produced output differing from the serial run");
+        std::process::exit(1);
+    }
+}

@@ -70,6 +70,19 @@ pub fn link(args: &[String]) -> Result<(), String> {
         out.candidates_examined,
         links.len()
     );
+    let s = out.stats;
+    eprintln!(
+        "stages: blocking {:.3}s, equivalence {:.3}s, alignment {:.3}s ({} thread{}); \
+         sim cache: {} hits / {} misses ({:.1}% hit rate)",
+        s.blocking_seconds,
+        s.equivalence_seconds,
+        s.alignment_seconds,
+        s.threads,
+        if s.threads == 1 { "" } else { "s" },
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.hit_rate() * 100.0
+    );
 
     match flag_value(args, "--out") {
         Some(path) => {
@@ -292,6 +305,19 @@ pub fn curate(args: &[String]) -> Result<(), String> {
             AlexDriver::new(&left, &right, &initial, cfg)?
         }
     };
+
+    let b = driver.build_stats();
+    eprintln!(
+        "built exploration spaces: {} pairs in {:.3}s ({} thread{}); \
+         sim cache: {} hits / {} misses ({:.1}% hit rate)",
+        b.pairs,
+        b.seconds,
+        b.threads,
+        if b.threads == 1 { "" } else { "s" },
+        b.cache.hits,
+        b.cache.misses,
+        b.cache.hit_rate() * 100.0
+    );
 
     let oracle = ExactOracle::new(truth.clone());
     let outcome = driver.run(&oracle, &truth);

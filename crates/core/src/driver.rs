@@ -16,13 +16,29 @@ use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use alex_rdf::{IriId, Link, Store};
+use alex_sim::{CacheStats, SimCache};
 
 use crate::config::AlexConfig;
 use crate::engine::{EngineDiagnostics, PartitionEngine, PartitionEpisodeStats};
 use crate::metrics::{EpisodeReport, Quality};
 use crate::oracle::FeedbackOracle;
+use crate::parallel::Executor;
 use crate::partition::round_robin;
 use crate::space::{ExplorationSpace, DEFAULT_MAX_BLOCK};
+
+/// Observability for the pre-processing stage: how long the exploration
+/// spaces took to build and how the shared similarity cache performed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpaceBuildStats {
+    /// Wall-clock seconds spent building all partition spaces.
+    pub seconds: f64,
+    /// Pairs that survived the θ filter, summed over partitions.
+    pub pairs: usize,
+    /// Worker threads the build ran with.
+    pub threads: usize,
+    /// Similarity-cache hit/miss counters for the whole build.
+    pub cache: CacheStats,
+}
 
 /// Everything a finished ALEX run reports.
 #[derive(Clone, Debug)]
@@ -79,6 +95,7 @@ pub struct AlexDriver {
     /// ground truth per partition.
     owner: HashMap<IriId, usize>,
     cfg: AlexConfig,
+    build_stats: SpaceBuildStats,
 }
 
 impl AlexDriver {
@@ -117,23 +134,33 @@ impl AlexDriver {
             .flat_map(|(k, p)| p.iter().map(move |&s| (s, k)))
             .collect();
 
-        // Build all partition spaces in parallel.
-        let sim = cfg.sim;
-        let theta = cfg.theta;
-        let spaces: Vec<ExplorationSpace> = std::thread::scope(|scope| {
-            let handles: Vec<_> = parts
-                .iter()
-                .map(|p| {
-                    scope.spawn(move || {
-                        ExplorationSpace::build(left, right, p, &sim, theta, DEFAULT_MAX_BLOCK)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("space build panicked"))
-                .collect()
-        });
+        // Build partition spaces one after another, each parallelized
+        // internally over its subjects (one executor, so the machine is
+        // never oversubscribed) and sharing one similarity cache — entities
+        // in different partitions repeat the same literals.
+        let executor = Executor::resolve(cfg.threads);
+        let cache = SimCache::new(cfg.sim);
+        let build_start = Instant::now();
+        let spaces: Vec<ExplorationSpace> = parts
+            .iter()
+            .map(|p| {
+                ExplorationSpace::build_with(
+                    left,
+                    right,
+                    p,
+                    cfg.theta,
+                    DEFAULT_MAX_BLOCK,
+                    &executor,
+                    &cache,
+                )
+            })
+            .collect();
+        let build_stats = SpaceBuildStats {
+            seconds: build_start.elapsed().as_secs_f64(),
+            pairs: spaces.iter().map(|s| s.len()).sum(),
+            threads: executor.workers(),
+            cache: cache.stats(),
+        };
 
         // Route initial links to their owning partition; links whose left
         // entity is unknown to the left dataset go to partition 0 so they
@@ -162,12 +189,18 @@ impl AlexDriver {
             engines,
             owner,
             cfg,
+            build_stats,
         })
     }
 
     /// The driver's configuration.
     pub fn config(&self) -> &AlexConfig {
         &self.cfg
+    }
+
+    /// Timing and cache statistics of the exploration-space build.
+    pub fn build_stats(&self) -> SpaceBuildStats {
+        self.build_stats
     }
 
     /// Read access to the partition engines.

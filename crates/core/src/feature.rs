@@ -7,8 +7,8 @@
 //! zeroed, then the per-row maxima (if `|E1| > |E2|`, else per-column
 //! maxima) are kept, one feature per attribute of the larger entity.
 
-use alex_rdf::{Entity, Interner, IriId};
-use alex_sim::{value_similarity, SimConfig};
+use alex_rdf::{Entity, Interner, IriId, Term};
+use alex_sim::{value_similarity, SimCache, SimConfig};
 
 /// A feature identifier: a predicate of the left entity paired with a
 /// predicate of the right entity.
@@ -58,6 +58,34 @@ impl FeatureSet {
         sim: &SimConfig,
         theta: f64,
     ) -> Option<Self> {
+        Self::build_with_sim(left, right, theta, |a, b| {
+            value_similarity(a, b, interner, sim)
+        })
+    }
+
+    /// Like [`FeatureSet::build`], but computing similarities through a
+    /// shared [`SimCache`], so repeated value pairs across candidate links
+    /// are scored once. Bit-identical to `build` with the cache's config.
+    pub fn build_cached(
+        left: &Entity,
+        right: &Entity,
+        interner: &Interner,
+        cache: &SimCache,
+        theta: f64,
+    ) -> Option<Self> {
+        Self::build_with_sim(left, right, theta, |a, b| {
+            cache.value_similarity(a, b, interner)
+        })
+    }
+
+    /// The shared matrix-reduction logic, generic over how a pair of terms
+    /// is scored.
+    fn build_with_sim(
+        left: &Entity,
+        right: &Entity,
+        theta: f64,
+        mut sim: impl FnMut(&Term, &Term) -> f64,
+    ) -> Option<Self> {
         if left.is_empty() || right.is_empty() {
             return None;
         }
@@ -76,7 +104,7 @@ impl FeatureSet {
             let mut best: Option<Feature> = None;
             for ia in &inner.attributes {
                 let (la, ra) = if row_major { (oa, ia) } else { (ia, oa) };
-                let score = value_similarity(&la.object, &ra.object, interner, sim);
+                let score = sim(&la.object, &ra.object);
                 if score < theta {
                     continue;
                 }

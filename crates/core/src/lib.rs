@@ -67,6 +67,7 @@ mod engine;
 mod feature;
 mod metrics;
 mod oracle;
+pub mod parallel;
 mod partition;
 mod policy;
 mod session;
@@ -75,7 +76,7 @@ pub mod telemetry;
 
 pub use candidates::CandidateSet;
 pub use config::AlexConfig;
-pub use driver::{AlexDriver, RunOutcome};
+pub use driver::{AlexDriver, RunOutcome, SpaceBuildStats};
 pub use engine::{EngineDiagnostics, PartitionEngine, PartitionEpisodeStats};
 pub use feature::{Feature, FeatureKey, FeatureSet};
 pub use metrics::{EpisodeReport, Quality};

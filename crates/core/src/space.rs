@@ -21,9 +21,10 @@
 use std::collections::{HashMap, HashSet};
 
 use alex_rdf::{Entity, IriId, Link, Literal, Store, Term};
-use alex_sim::{string::tokens, SimConfig};
+use alex_sim::{string::tokens, SimCache, SimConfig};
 
 use crate::feature::{FeatureKey, FeatureSet};
+use crate::parallel::Executor;
 
 /// Default cap on inverted-index bucket size; buckets larger than this are
 /// stop-word-like and proposed pairs from them are noise.
@@ -86,6 +87,10 @@ fn literal_keys(store: &Store, term: &Term, out: &mut Vec<String>) {
 impl ExplorationSpace {
     /// Builds the space between `left_subjects` (one partition of the left
     /// dataset) and every entity of `right`.
+    ///
+    /// Honors `ALEX_THREADS` (see [`crate::parallel`]): this is a thin
+    /// wrapper over [`ExplorationSpace::build_with`] with a resolved
+    /// executor and a fresh similarity cache.
     pub fn build(
         left: &Store,
         right: &Store,
@@ -93,6 +98,34 @@ impl ExplorationSpace {
         sim: &SimConfig,
         theta: f64,
         max_block: usize,
+    ) -> Self {
+        Self::build_with(
+            left,
+            right,
+            left_subjects,
+            theta,
+            max_block,
+            &Executor::resolve(0),
+            &SimCache::new(*sim),
+        )
+    }
+
+    /// Builds the space on an explicit [`Executor`], sharing `cache` for
+    /// value similarities (its [`SimConfig`] is the one used).
+    ///
+    /// Left subjects are sharded into contiguous chunks; each chunk
+    /// computes its `(link, feature set)` list independently, and the
+    /// chunks are merged serially in input order — so the resulting space
+    /// (pair order, indexes, every float) is bit-identical for any worker
+    /// count.
+    pub fn build_with(
+        left: &Store,
+        right: &Store,
+        left_subjects: &[IriId],
+        theta: f64,
+        max_block: usize,
+        executor: &Executor,
+        cache: &SimCache,
     ) -> Self {
         // Inverted index over the right dataset.
         let mut right_index: HashMap<String, Vec<IriId>> = HashMap::new();
@@ -114,46 +147,66 @@ impl ExplorationSpace {
         }
         right_index.retain(|_, v| v.len() <= max_block);
 
+        let interner = left.interner();
+
+        // Parallel map: each chunk of left subjects produces its scored
+        // pairs in deterministic (subject order, then sorted candidate)
+        // order. All cross-thread state is read-only; similarity scores go
+        // through the shared cache.
+        let chunk_results: Vec<Vec<(Link, FeatureSet)>> =
+            executor.map_chunks(left_subjects, |chunk| {
+                let mut out: Vec<(Link, FeatureSet)> = Vec::new();
+                let mut keys = Vec::new();
+                for &ls in chunk {
+                    let left_entity = left.entity(ls);
+                    if left_entity.is_empty() {
+                        continue;
+                    }
+                    // Candidate rights: union over this entity's keys.
+                    let mut cands: HashSet<IriId> = HashSet::new();
+                    let mut seen_keys: HashSet<String> = HashSet::new();
+                    for attr in &left_entity.attributes {
+                        keys.clear();
+                        literal_keys(left, &attr.object, &mut keys);
+                        for k in keys.drain(..) {
+                            if seen_keys.insert(k.clone()) {
+                                if let Some(rs) = right_index.get(&k) {
+                                    cands.extend(rs.iter().copied());
+                                }
+                            }
+                        }
+                    }
+                    let mut cands: Vec<IriId> = cands.into_iter().collect();
+                    cands.sort_unstable();
+                    for rs in cands {
+                        let right_entity = &right_entities[&rs];
+                        let Some(fs) = FeatureSet::build_cached(
+                            &left_entity,
+                            right_entity,
+                            interner,
+                            cache,
+                            theta,
+                        ) else {
+                            continue;
+                        };
+                        out.push((Link::new(ls, rs), fs));
+                    }
+                }
+                out
+            });
+
+        // Serial, order-preserving merge: replays exactly the pair sequence
+        // the single-threaded loop would have produced.
         let mut pairs: Vec<PairEntry> = Vec::new();
         let mut pair_index: HashMap<Link, u32> = HashMap::new();
         let mut ranges: HashMap<FeatureKey, Vec<(f64, u32)>> = HashMap::new();
-        let interner = left.interner();
-
-        for &ls in left_subjects {
-            let left_entity = left.entity(ls);
-            if left_entity.is_empty() {
-                continue;
+        for (link, fs) in chunk_results.into_iter().flatten() {
+            let idx = u32::try_from(pairs.len()).expect("space overflow");
+            for f in fs.features() {
+                ranges.entry(f.key).or_default().push((f.score, idx));
             }
-            // Candidate rights: union over this entity's keys.
-            let mut cands: HashSet<IriId> = HashSet::new();
-            let mut seen_keys: HashSet<String> = HashSet::new();
-            for attr in &left_entity.attributes {
-                keys.clear();
-                literal_keys(left, &attr.object, &mut keys);
-                for k in keys.drain(..) {
-                    if seen_keys.insert(k.clone()) {
-                        if let Some(rs) = right_index.get(&k) {
-                            cands.extend(rs.iter().copied());
-                        }
-                    }
-                }
-            }
-            let mut cands: Vec<IriId> = cands.into_iter().collect();
-            cands.sort_unstable();
-            for rs in cands {
-                let right_entity = &right_entities[&rs];
-                let Some(fs) = FeatureSet::build(&left_entity, right_entity, interner, sim, theta)
-                else {
-                    continue;
-                };
-                let idx = u32::try_from(pairs.len()).expect("space overflow");
-                let link = Link::new(ls, rs);
-                for f in fs.features() {
-                    ranges.entry(f.key).or_default().push((f.score, idx));
-                }
-                pair_index.insert(link, idx);
-                pairs.push(PairEntry { link, features: fs });
-            }
+            pair_index.insert(link, idx);
+            pairs.push(PairEntry { link, features: fs });
         }
         for list in ranges.values_mut() {
             list.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("scores are finite"));

@@ -2,12 +2,13 @@
 
 use std::collections::HashSet;
 
+use alex_core::parallel::Executor;
 use alex_core::{
     round_robin, AlexConfig, CandidateSet, ExplorationSpace, FeatureSet, Policy, QTable, Quality,
     DEFAULT_MAX_BLOCK,
 };
 use alex_rdf::{Interner, IriId, Link, Literal, Store};
-use alex_sim::SimConfig;
+use alex_sim::{SimCache, SimConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -248,6 +249,62 @@ proptest! {
             for f in fs.features() {
                 prop_assert!(f.score >= theta && f.score <= 1.0 + 1e-12, "score {}", f.score);
                 prop_assert!(keys.insert(f.key), "duplicate key");
+            }
+        }
+    }
+
+    /// Parallel space construction is bit-identical to the serial run:
+    /// same links in the same order, same feature keys, and the same
+    /// score bits (the `ALEX_THREADS=1` oracle of `alex-core::parallel`).
+    #[test]
+    fn parallel_space_build_matches_serial(names in arb_names(), theta in 0.1f64..0.9) {
+        let (left, right, subjects) = build_world(&names);
+        let serial = ExplorationSpace::build_with(
+            &left, &right, &subjects, theta, DEFAULT_MAX_BLOCK,
+            &Executor::new(1), &SimCache::new(SimConfig::default()),
+        );
+        let parallel = ExplorationSpace::build_with(
+            &left, &right, &subjects, theta, DEFAULT_MAX_BLOCK,
+            &Executor::new(4), &SimCache::new(SimConfig::default()),
+        );
+        prop_assert_eq!(serial.len(), parallel.len());
+        prop_assert_eq!(serial.feature_key_count(), parallel.feature_key_count());
+        let s_links: Vec<Link> = serial.links().collect();
+        let p_links: Vec<Link> = parallel.links().collect();
+        prop_assert_eq!(&s_links, &p_links);
+        for l in s_links {
+            let sf = serial.feature_set(l).unwrap();
+            let pf = parallel.feature_set(l).unwrap();
+            prop_assert_eq!(sf.len(), pf.len());
+            for (a, b) in sf.features().iter().zip(pf.features()) {
+                prop_assert_eq!(a.key, b.key);
+                prop_assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+    }
+
+    /// The convenience `build` wrapper (auto-resolved executor, private
+    /// cache) matches an explicit executor + externally shared cache, so
+    /// neither memoization nor cache sharing changes results.
+    #[test]
+    fn cached_space_build_matches_wrapper(names in arb_names(), theta in 0.1f64..0.9) {
+        let (left, right, subjects) = build_world(&names);
+        let plain = ExplorationSpace::build(
+            &left, &right, &subjects, &SimConfig::default(), theta, DEFAULT_MAX_BLOCK,
+        );
+        let cache = SimCache::new(SimConfig::default());
+        let cached = ExplorationSpace::build_with(
+            &left, &right, &subjects, theta, DEFAULT_MAX_BLOCK, &Executor::new(2), &cache,
+        );
+        prop_assert_eq!(plain.len(), cached.len());
+        for (l, l2) in plain.links().zip(cached.links()) {
+            prop_assert_eq!(l, l2);
+            let a = plain.feature_set(l).unwrap();
+            let b = cached.feature_set(l2).unwrap();
+            prop_assert_eq!(a.len(), b.len());
+            for (fa, fb) in a.features().iter().zip(b.features()) {
+                prop_assert_eq!(fa.key, fb.key);
+                prop_assert_eq!(fa.score.to_bits(), fb.score.to_bits());
             }
         }
     }

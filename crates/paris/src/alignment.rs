@@ -16,7 +16,9 @@
 
 use std::collections::HashMap;
 
+use alex_core::parallel::Executor;
 use alex_rdf::{Entity, IriId, Store};
+use alex_sim::SimCache;
 
 use crate::equivalence::{object_eq, EquivalenceTable};
 use crate::ParisConfig;
@@ -83,41 +85,104 @@ impl AlignmentTable {
     }
 
     /// Estimates alignments from the current equivalence beliefs.
+    ///
+    /// Honors `ALEX_THREADS`: a thin wrapper over
+    /// [`AlignmentTable::estimate_with`] with a resolved executor and a
+    /// fresh similarity cache.
     pub fn estimate(
         left: &Store,
         right: &Store,
         eqv: &EquivalenceTable,
         cfg: &ParisConfig,
     ) -> Self {
-        let mut numer: HashMap<(IriId, IriId), f64> = HashMap::new();
-        let mut denom: HashMap<IriId, f64> = HashMap::new();
+        Self::estimate_with(
+            left,
+            right,
+            eqv,
+            cfg,
+            &Executor::resolve(0),
+            &SimCache::new(cfg.sim),
+        )
+    }
+
+    /// Estimates alignments on an explicit [`Executor`], sharing `cache`
+    /// for literal similarities (pass a cache built from `cfg.sim`).
+    ///
+    /// Candidate pairs are sharded into contiguous chunks; each chunk
+    /// emits its numerator/denominator *contributions* as ordered lists,
+    /// and the contributions are replayed serially in input order into the
+    /// accumulators. Every accumulator key therefore receives its additions
+    /// in exactly the serial order (one addition per pair-attribute, sorted
+    /// by right predicate within an attribute), making the estimate
+    /// bit-identical for any worker count.
+    pub fn estimate_with(
+        left: &Store,
+        right: &Store,
+        eqv: &EquivalenceTable,
+        cfg: &ParisConfig,
+        executor: &Executor,
+        cache: &SimCache,
+    ) -> Self {
+        // Prefetch the entities of qualifying pairs once, serially.
         let mut left_cache: HashMap<IriId, Entity> = HashMap::new();
         let mut right_cache: HashMap<IriId, Entity> = HashMap::new();
-
         for &(l, r) in eqv.pairs() {
-            let belief = eqv.score(l, r);
-            if belief < MATCH_CUTOFF {
+            if eqv.score(l, r) < MATCH_CUTOFF {
                 continue;
             }
-            let w = belief * belief;
-            let el = left_cache.entry(l).or_insert_with(|| left.entity(l));
-            let er = right_cache.entry(r).or_insert_with(|| right.entity(r));
-            for al in &el.attributes {
-                *denom.entry(al.predicate).or_insert(0.0) += w;
-                // Best matching value per right predicate.
-                let mut best: HashMap<IriId, f64> = HashMap::new();
-                for ar in &er.attributes {
-                    let eq = object_eq(&al.object, &ar.object, left, eqv.scores(), cfg);
-                    if eq > 0.0 {
-                        let slot = best.entry(ar.predicate).or_insert(0.0);
-                        if eq > *slot {
-                            *slot = eq;
+            left_cache.entry(l).or_insert_with(|| left.entity(l));
+            right_cache.entry(r).or_insert_with(|| right.entity(r));
+        }
+
+        type Contribs = (Vec<(IriId, f64)>, Vec<((IriId, IriId), f64)>);
+        let left_cache = &left_cache;
+        let right_cache = &right_cache;
+        let chunk_results: Vec<Contribs> = executor.map_chunks(eqv.pairs(), |chunk| {
+            let mut denom_adds: Vec<(IriId, f64)> = Vec::new();
+            let mut numer_adds: Vec<((IriId, IriId), f64)> = Vec::new();
+            for &(l, r) in chunk {
+                let belief = eqv.score(l, r);
+                if belief < MATCH_CUTOFF {
+                    continue;
+                }
+                let w = belief * belief;
+                let el = &left_cache[&l];
+                let er = &right_cache[&r];
+                for al in &el.attributes {
+                    denom_adds.push((al.predicate, w));
+                    // Best matching value per right predicate.
+                    let mut best: HashMap<IriId, f64> = HashMap::new();
+                    for ar in &er.attributes {
+                        let eq = object_eq(&al.object, &ar.object, left, eqv.scores(), cfg, cache);
+                        if eq > 0.0 {
+                            let slot = best.entry(ar.predicate).or_insert(0.0);
+                            if eq > *slot {
+                                *slot = eq;
+                            }
                         }
                     }
+                    // Sorted by right predicate so the contribution list
+                    // does not depend on HashMap iteration order.
+                    let mut best: Vec<(IriId, f64)> = best.into_iter().collect();
+                    best.sort_unstable_by_key(|&(rp, _)| rp);
+                    for (rp, eq) in best {
+                        numer_adds.push(((al.predicate, rp), w * eq));
+                    }
                 }
-                for (rp, eq) in best {
-                    *numer.entry((al.predicate, rp)).or_insert(0.0) += w * eq;
-                }
+            }
+            (denom_adds, numer_adds)
+        });
+
+        // Serial replay in input order: each key's additions happen in the
+        // same sequence the single-threaded loop would produce.
+        let mut numer: HashMap<(IriId, IriId), f64> = HashMap::new();
+        let mut denom: HashMap<IriId, f64> = HashMap::new();
+        for (denom_adds, numer_adds) in chunk_results {
+            for (p, w) in denom_adds {
+                *denom.entry(p).or_insert(0.0) += w;
+            }
+            for (k, v) in numer_adds {
+                *numer.entry(k).or_insert(0.0) += v;
             }
         }
 

@@ -10,6 +10,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use alex_core::parallel::Executor;
 use alex_rdf::{IriId, Literal, Store, Term};
 use alex_sim::string::tokens;
 
@@ -78,21 +79,46 @@ fn index(store: &Store, max_block_size: usize) -> HashMap<Key, Vec<IriId>> {
 /// Generates candidate `(left entity, right entity)` pairs from shared
 /// blocking keys. Output is sorted and duplicate-free, so downstream
 /// iteration is deterministic.
+///
+/// Honors `ALEX_THREADS`: a thin wrapper over [`candidate_pairs_with`]
+/// with a resolved executor.
 pub fn candidate_pairs(left: &Store, right: &Store, max_block_size: usize) -> Vec<(IriId, IriId)> {
+    candidate_pairs_with(left, right, max_block_size, &Executor::resolve(0))
+}
+
+/// [`candidate_pairs`] on an explicit [`Executor`].
+///
+/// The two inverted indexes are built serially; the quadratic part —
+/// expanding every shared key's `left block × right block` — is sharded
+/// over the left index's blocks. The merged result is sorted and
+/// deduplicated, so it is identical (bit-for-bit, it is a list of interned
+/// id pairs) for any worker count.
+pub fn candidate_pairs_with(
+    left: &Store,
+    right: &Store,
+    max_block_size: usize,
+    executor: &Executor,
+) -> Vec<(IriId, IriId)> {
     let left_idx = index(left, max_block_size);
     let right_idx = index(right, max_block_size);
-    let mut pairs: HashSet<(IriId, IriId)> = HashSet::new();
-    for (key, ls) in &left_idx {
-        if let Some(rs) = right_idx.get(key) {
-            for &l in ls {
-                for &r in rs {
-                    pairs.insert((l, r));
+    let left_blocks: Vec<(&Key, &Vec<IriId>)> = left_idx.iter().collect();
+    let right_idx = &right_idx;
+    let chunk_pairs: Vec<Vec<(IriId, IriId)>> = executor.map_chunks(&left_blocks, |chunk| {
+        let mut out: Vec<(IriId, IriId)> = Vec::new();
+        for (key, ls) in chunk {
+            if let Some(rs) = right_idx.get(*key) {
+                for &l in *ls {
+                    for &r in rs {
+                        out.push((l, r));
+                    }
                 }
             }
         }
-    }
-    let mut out: Vec<(IriId, IriId)> = pairs.into_iter().collect();
+        out
+    });
+    let mut out: Vec<(IriId, IriId)> = chunk_pairs.into_iter().flatten().collect();
     out.sort_unstable();
+    out.dedup();
     out
 }
 

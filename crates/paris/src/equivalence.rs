@@ -15,8 +15,9 @@
 
 use std::collections::HashMap;
 
+use alex_core::parallel::Executor;
 use alex_rdf::{Entity, IriId, Link, ScoredLink, Store, Term};
-use alex_sim::value_similarity;
+use alex_sim::SimCache;
 
 use crate::alignment::AlignmentTable;
 use crate::functionality::FunctionalityTable;
@@ -32,12 +33,18 @@ pub struct EquivalenceTable {
 /// Similarity of two objects under the current beliefs: literal pairs use
 /// value similarity (zeroed below the configured threshold), resource pairs
 /// use the current equivalence score (1.0 on identity).
+///
+/// Literal similarities go through the shared [`SimCache`] — they are
+/// invariant across fixpoint rounds, so memoizing them is sound and is
+/// where most of PARIS's repeated work lives. Belief lookups (IRI pairs)
+/// change every round and are never cached.
 pub(crate) fn object_eq(
     y: &Term,
     y2: &Term,
     store: &Store,
     scores: &HashMap<(IriId, IriId), f64>,
     cfg: &ParisConfig,
+    cache: &SimCache,
 ) -> f64 {
     match (y, y2) {
         (Term::Iri(a), Term::Iri(b)) => {
@@ -51,7 +58,7 @@ pub(crate) fn object_eq(
             }
         }
         _ => {
-            let s = value_similarity(y, y2, store.interner(), &cfg.sim);
+            let s = cache.value_similarity(y, y2, store.interner());
             if s >= cfg.literal_threshold {
                 s
             } else {
@@ -86,6 +93,10 @@ impl EquivalenceTable {
     }
 
     /// One round of the noisy-OR update over every candidate pair.
+    ///
+    /// Honors `ALEX_THREADS`: a thin wrapper over
+    /// [`EquivalenceTable::update_with`] with a resolved executor and a
+    /// fresh similarity cache.
     pub fn update(
         &mut self,
         left: &Store,
@@ -95,6 +106,41 @@ impl EquivalenceTable {
         fun_right: &FunctionalityTable,
         cfg: &ParisConfig,
     ) {
+        self.update_with(
+            left,
+            right,
+            align,
+            fun_left,
+            fun_right,
+            cfg,
+            &Executor::resolve(0),
+            &SimCache::new(cfg.sim),
+        );
+    }
+
+    /// One noisy-OR round on an explicit [`Executor`], sharing `cache` for
+    /// literal similarities (its config is the one used — pass a cache
+    /// built from `cfg.sim`).
+    ///
+    /// Candidate pairs are sharded into contiguous chunks; every chunk
+    /// reads the *previous* round's beliefs (a synchronous Jacobi update,
+    /// which is also what the serial loop computes, since `self.scores` is
+    /// only replaced at the end). Each pair's new belief touches only its
+    /// own key, so merging the chunks is order-independent; within a pair
+    /// the noisy-OR product is evaluated in sorted predicate-pair order,
+    /// making the result bit-identical for any worker count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn update_with(
+        &mut self,
+        left: &Store,
+        right: &Store,
+        align: &AlignmentTable,
+        fun_left: &FunctionalityTable,
+        fun_right: &FunctionalityTable,
+        cfg: &ParisConfig,
+        executor: &Executor,
+        cache: &SimCache,
+    ) {
         let mut left_entities: HashMap<IriId, Entity> = HashMap::new();
         let mut right_entities: HashMap<IriId, Entity> = HashMap::new();
         for &(l, r) in &self.pairs {
@@ -102,38 +148,57 @@ impl EquivalenceTable {
             right_entities.entry(r).or_insert_with(|| right.entity(r));
         }
 
-        let mut new_scores: HashMap<(IriId, IriId), f64> = HashMap::with_capacity(self.pairs.len());
-        // Reused per pair: best evidence seen for each predicate pair.
-        let mut best: HashMap<(IriId, IriId), f64> = HashMap::new();
-        for &(l, r) in &self.pairs {
-            let el = &left_entities[&l];
-            let er = &right_entities[&r];
-            best.clear();
-            for al in &el.attributes {
-                for ar in &er.attributes {
-                    let a = align.get(al.predicate, ar.predicate);
-                    if a <= 0.0 {
-                        continue;
+        let prev_scores = &self.scores;
+        let left_entities = &left_entities;
+        let right_entities = &right_entities;
+        let chunk_results: Vec<Vec<((IriId, IriId), f64)>> =
+            executor.map_chunks(&self.pairs, |chunk| {
+                let mut out: Vec<((IriId, IriId), f64)> = Vec::new();
+                // Reused per pair: best evidence seen for each predicate pair.
+                let mut best: HashMap<(IriId, IriId), f64> = HashMap::new();
+                for &(l, r) in chunk {
+                    let el = &left_entities[&l];
+                    let er = &right_entities[&r];
+                    best.clear();
+                    for al in &el.attributes {
+                        for ar in &er.attributes {
+                            let a = align.get(al.predicate, ar.predicate);
+                            if a <= 0.0 {
+                                continue;
+                            }
+                            let eq =
+                                object_eq(&al.object, &ar.object, left, prev_scores, cfg, cache);
+                            if eq <= 0.0 {
+                                continue;
+                            }
+                            let ident = fun_left
+                                .ifun(al.predicate)
+                                .max(fun_right.ifun(ar.predicate));
+                            let evidence = a * ident * eq;
+                            let slot = best.entry((al.predicate, ar.predicate)).or_insert(0.0);
+                            if evidence > *slot {
+                                *slot = evidence;
+                            }
+                        }
                     }
-                    let eq = object_eq(&al.object, &ar.object, left, &self.scores, cfg);
-                    if eq <= 0.0 {
-                        continue;
-                    }
-                    let ident = fun_left
-                        .ifun(al.predicate)
-                        .max(fun_right.ifun(ar.predicate));
-                    let evidence = a * ident * eq;
-                    let slot = best.entry((al.predicate, ar.predicate)).or_insert(0.0);
-                    if evidence > *slot {
-                        *slot = evidence;
+                    // Noisy-OR over the evidence in sorted key order: float
+                    // multiplication is not associative, and HashMap
+                    // iteration order varies per process, so an unsorted
+                    // product would differ run to run.
+                    let mut evidence: Vec<((IriId, IriId), f64)> = best.drain().collect();
+                    evidence.sort_unstable_by_key(|&(k, _)| k);
+                    let miss: f64 = evidence.iter().map(|&(_, e)| 1.0 - e).product();
+                    let p = 1.0 - miss;
+                    if p > 0.0 {
+                        out.push(((l, r), p));
                     }
                 }
-            }
-            let miss: f64 = best.values().map(|e| 1.0 - e).product();
-            let p = 1.0 - miss;
-            if p > 0.0 {
-                new_scores.insert((l, r), p);
-            }
+                out
+            });
+
+        let mut new_scores: HashMap<(IriId, IriId), f64> = HashMap::with_capacity(self.pairs.len());
+        for (k, p) in chunk_results.into_iter().flatten() {
+            new_scores.insert(k, p);
         }
         self.scores = new_scores;
     }
@@ -213,12 +278,16 @@ mod tests {
         let interner = Interner::new_shared();
         let store = Store::new(interner.clone());
         let cfg = ParisConfig::default();
+        let cache = SimCache::new(cfg.sim);
         let scores = HashMap::new();
         let a: Term = Literal::str(&interner, "LeBron James").into();
         let b: Term = Literal::str(&interner, "LeBron James").into();
-        assert_eq!(object_eq(&a, &b, &store, &scores, &cfg), 1.0);
+        assert_eq!(object_eq(&a, &b, &store, &scores, &cfg, &cache), 1.0);
         let c: Term = Literal::str(&interner, "zzz qqq").into();
-        assert_eq!(object_eq(&a, &c, &store, &scores, &cfg), 0.0);
+        assert_eq!(object_eq(&a, &c, &store, &scores, &cfg, &cache), 0.0);
+        // Repeating the comparison hits the cache and returns the same.
+        assert_eq!(object_eq(&a, &c, &store, &scores, &cfg, &cache), 0.0);
+        assert!(cache.stats().hits >= 1);
     }
 
     #[test]
@@ -226,15 +295,18 @@ mod tests {
         let interner = Interner::new_shared();
         let store = Store::new(interner);
         let cfg = ParisConfig::default();
+        let cache = SimCache::new(cfg.sim);
         let a = iri(&store, "a");
         let b = iri(&store, "b");
         let mut scores = HashMap::new();
         scores.insert((a, b), 0.6);
         let ta: Term = a.into();
         let tb: Term = b.into();
-        assert_eq!(object_eq(&ta, &tb, &store, &scores, &cfg), 0.6);
-        assert_eq!(object_eq(&tb, &ta, &store, &scores, &cfg), 0.6); // symmetric lookup
-        assert_eq!(object_eq(&ta, &ta, &store, &scores, &cfg), 1.0);
+        assert_eq!(object_eq(&ta, &tb, &store, &scores, &cfg, &cache), 0.6);
+        assert_eq!(object_eq(&tb, &ta, &store, &scores, &cfg, &cache), 0.6); // symmetric lookup
+        assert_eq!(object_eq(&ta, &ta, &store, &scores, &cfg, &cache), 1.0);
+        // Beliefs are never cached — they change every round.
+        assert_eq!(cache.stats().total(), 0);
     }
 
     #[test]

@@ -53,8 +53,11 @@ pub mod blocking;
 pub mod equivalence;
 pub mod functionality;
 
+use std::time::Instant;
+
+use alex_core::parallel::Executor;
 use alex_rdf::{Link, ScoredLink, Store};
-use alex_sim::SimConfig;
+use alex_sim::{CacheStats, SimCache, SimConfig};
 
 /// Tuning knobs for the PARIS fixpoint.
 #[derive(Clone, Debug)]
@@ -73,6 +76,9 @@ pub struct ParisConfig {
     pub mutual_best: bool,
     /// Value similarity configuration.
     pub sim: SimConfig,
+    /// Worker threads (`0` = auto: honor `ALEX_THREADS`, else available
+    /// parallelism). Output is bit-identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for ParisConfig {
@@ -84,8 +90,26 @@ impl Default for ParisConfig {
             max_block_size: 50,
             mutual_best: true,
             sim: SimConfig::default(),
+            threads: 0,
         }
     }
+}
+
+/// Per-stage observability of one PARIS run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParisStats {
+    /// Wall-clock seconds generating candidate pairs (blocking).
+    pub blocking_seconds: f64,
+    /// Wall-clock seconds in equivalence updates, summed over rounds.
+    pub equivalence_seconds: f64,
+    /// Wall-clock seconds in alignment estimation, summed over rounds.
+    pub alignment_seconds: f64,
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Similarity-cache counters for the whole run (the cache is shared
+    /// across fixpoint rounds, so later rounds hit what earlier rounds
+    /// computed).
+    pub cache: CacheStats,
 }
 
 /// Result of a PARIS run.
@@ -97,6 +121,8 @@ pub struct ParisOutput {
     pub candidates_examined: usize,
     /// Final relation-alignment table, for inspection and tests.
     pub alignments: alignment::AlignmentTable,
+    /// Stage timings and cache counters of this run.
+    pub stats: ParisStats,
 }
 
 impl ParisOutput {
@@ -128,17 +154,39 @@ impl ParisLinker {
     }
 
     /// Runs the full PARIS pipeline on two datasets sharing an interner.
+    ///
+    /// One executor and one similarity cache are shared across all stages
+    /// and fixpoint rounds: literal similarities are round-invariant, so
+    /// from the second round on the equivalence/alignment updates hit the
+    /// cache instead of re-tokenizing and re-comparing. The thread count
+    /// comes from [`ParisConfig::threads`] / `ALEX_THREADS`, and the output
+    /// is bit-identical at every thread count.
     pub fn run(&self, left: &Store, right: &Store) -> ParisOutput {
         let cfg = &self.config;
+        let executor = Executor::resolve(cfg.threads);
+        let cache = SimCache::new(cfg.sim);
+
         let fun_left = functionality::FunctionalityTable::build(left);
         let fun_right = functionality::FunctionalityTable::build(right);
-        let candidates = blocking::candidate_pairs(left, right, cfg.max_block_size);
+
+        let t = Instant::now();
+        let candidates = blocking::candidate_pairs_with(left, right, cfg.max_block_size, &executor);
+        let blocking_seconds = t.elapsed().as_secs_f64();
 
         let mut eqv = equivalence::EquivalenceTable::new(candidates.clone());
         let mut align = alignment::AlignmentTable::uniform(cfg.initial_alignment);
+        let mut equivalence_seconds = 0.0;
+        let mut alignment_seconds = 0.0;
         for _round in 0..cfg.iterations.max(1) {
-            eqv.update(left, right, &align, &fun_left, &fun_right, cfg);
-            align = alignment::AlignmentTable::estimate(left, right, &eqv, cfg);
+            let t = Instant::now();
+            eqv.update_with(
+                left, right, &align, &fun_left, &fun_right, cfg, &executor, &cache,
+            );
+            equivalence_seconds += t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            align =
+                alignment::AlignmentTable::estimate_with(left, right, &eqv, cfg, &executor, &cache);
+            alignment_seconds += t.elapsed().as_secs_f64();
         }
 
         let links = eqv.assign(cfg.mutual_best);
@@ -146,6 +194,13 @@ impl ParisLinker {
             links,
             candidates_examined: candidates.len(),
             alignments: align,
+            stats: ParisStats {
+                blocking_seconds,
+                equivalence_seconds,
+                alignment_seconds,
+                threads: executor.workers(),
+                cache: cache.stats(),
+            },
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use std::collections::HashSet;
 
+use alex_core::parallel::Executor;
 use alex_paris::{blocking, functionality::FunctionalityTable, ParisConfig, ParisLinker};
 use alex_rdf::{Interner, IriId, Literal, Store};
 use proptest::prelude::*;
@@ -107,5 +108,52 @@ proptest! {
             prop_assert_eq!(x.link, y.link);
             prop_assert!((x.score - y.score).abs() < 1e-12);
         }
+    }
+
+    /// Parallel blocking is identical to the 1-thread run: the merged
+    /// candidate list is sorted and deduplicated, so the worker count
+    /// cannot leak into the output.
+    #[test]
+    fn parallel_blocking_matches_serial(names in arb_names(), extra in 0usize..4) {
+        let (left, right, _) = build_stores(&names, extra);
+        let serial = blocking::candidate_pairs_with(&left, &right, 50, &Executor::new(1));
+        let parallel = blocking::candidate_pairs_with(&left, &right, 50, &Executor::new(4));
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// The full PARIS pipeline — blocking, equivalence fixpoint, and
+    /// alignment estimation — is bit-identical across thread counts,
+    /// including every link score and alignment weight.
+    #[test]
+    fn parallel_pipeline_matches_serial(names in arb_names(), extra in 0usize..4) {
+        let (left, right, _) = build_stores(&names, extra);
+        let serial = ParisLinker::new(ParisConfig {
+            threads: 1,
+            ..Default::default()
+        })
+        .run(&left, &right);
+        let parallel = ParisLinker::new(ParisConfig {
+            threads: 4,
+            ..Default::default()
+        })
+        .run(&left, &right);
+        prop_assert_eq!(serial.links.len(), parallel.links.len());
+        for (x, y) in serial.links.iter().zip(&parallel.links) {
+            prop_assert_eq!(x.link, y.link);
+            prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+        let mut sa: Vec<(IriId, IriId, u64)> = serial
+            .alignments
+            .iter()
+            .map(|(l, r, w)| (l, r, w.to_bits()))
+            .collect();
+        let mut pa: Vec<(IriId, IriId, u64)> = parallel
+            .alignments
+            .iter()
+            .map(|(l, r, w)| (l, r, w.to_bits()))
+            .collect();
+        sa.sort_unstable();
+        pa.sort_unstable();
+        prop_assert_eq!(sa, pa);
     }
 }

@@ -210,6 +210,23 @@ fn create_session(state: &AppState, req: &Request) -> Response {
     let candidates = driver.candidate_links().len();
     let left_triples = left.len();
     let right_triples = right.len();
+
+    // Pre-processing observability: space-build wall time and similarity
+    // cache effectiveness, exported through /metrics.
+    let build = driver.build_stats();
+    state
+        .metrics
+        .histogram("alex_stage_seconds{stage=\"space_build\"}")
+        .record(build.seconds);
+    state
+        .metrics
+        .counter("alex_sim_cache_hits_total")
+        .add(build.cache.hits);
+    state
+        .metrics
+        .counter("alex_sim_cache_misses_total")
+        .add(build.cache.misses);
+
     let handle = SessionHandle::new(LiveSession::new(left, right, driver));
     update_session_gauges(state, &id, &handle, truth.as_ref());
     state

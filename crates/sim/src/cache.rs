@@ -1,0 +1,496 @@
+//! A sharded read-through cache for [`value_similarity`].
+//!
+//! Exploration-space construction and the PARIS fixpoint compare the same
+//! values over and over: every entity mentioning "LeBron James" meets every
+//! other such entity through blocking, and every fixpoint round re-compares
+//! the same literal pairs. Both costs are pure functions of the two terms,
+//! so a process-wide memo table converts the quadratic re-computation into
+//! hash lookups.
+//!
+//! Two layers are cached:
+//!
+//! * **values** — the final score for a canonicalized `(Term, Term)` pair
+//!   (the smaller term first; similarity is computed once per unordered
+//!   pair, which also makes the cached function exactly symmetric);
+//! * **string forms** — per interned string, the tokenized/normalized
+//!   representations the configured metric consumes (lowercase char
+//!   sequence, sorted token set, ordered tokens, trigram set), so Jaccard
+//!   and friends never re-tokenize a string they have seen before.
+//!
+//! Both layers are sharded `RwLock<HashMap>`s: hits take a read lock on
+//! one shard, misses compute *outside* any lock and then publish with a
+//! short write lock. A racing duplicate computation is benign — the
+//! function is deterministic, so both writers insert the same value.
+//!
+//! Determinism: the cache returns bit-identical scores regardless of
+//! thread count, insertion order, or hash seeding, because the stored
+//! value is always `value_similarity(min(a,b), max(a,b))` computed from
+//! deterministic forms.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use alex_rdf::{Interner, StrId, Term};
+
+use crate::string;
+use crate::value::{numeric_sim, value_similarity};
+use crate::{SimConfig, StringMetric};
+
+/// Number of lock shards per layer. 64 keeps write contention negligible
+/// at realistic worker counts while costing only a few hundred bytes.
+const SHARDS: usize = 64;
+
+/// Hit/miss counters of a [`SimCache`], exported to `/metrics` and run
+/// summaries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the value cache.
+    pub hits: u64,
+    /// Lookups that had to compute the similarity.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from cache, `0.0` when empty.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Which string a [`StrForms`] entry was derived from: a literal's interned
+/// value, or the local name of an interned IRI.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum FormKey {
+    Lit(StrId),
+    IriLocal(StrId),
+}
+
+/// Precomputed normalized forms of one string, shared via `Arc` so hits
+/// are a clone of a pointer.
+#[derive(Debug)]
+struct StrForms {
+    /// The exact string the serial path would compare (literal value or
+    /// IRI local name) — used for the equality fast path.
+    raw: String,
+    /// `raw.trim().parse::<f64>()`, the serial path's numeric shortcut.
+    numeric: Option<f64>,
+    /// Whether `raw` is empty (trigram metrics decide empties up front).
+    empty: bool,
+    /// Chars of the lowercased string (edit-distance metrics).
+    chars: Vec<char>,
+    /// Ordered lowercase tokens, duplicates preserved (Monge-Elkan).
+    tokens: Vec<String>,
+    /// Sorted, deduplicated lowercase tokens (token Jaccard).
+    token_set: Vec<String>,
+    /// Sorted, deduplicated padded trigrams (trigram Jaccard).
+    trigrams: Vec<[char; 3]>,
+}
+
+impl StrForms {
+    /// Builds exactly the forms `metric` consumes; unused forms stay empty.
+    fn build(raw: &str, metric: StringMetric) -> Self {
+        let lower = raw.to_lowercase();
+        let needs_chars = matches!(
+            metric,
+            StringMetric::Levenshtein | StringMetric::JaroWinkler | StringMetric::Hybrid
+        );
+        let needs_token_set = matches!(metric, StringMetric::TokenJaccard | StringMetric::Hybrid);
+        let chars = if needs_chars {
+            lower.chars().collect()
+        } else {
+            Vec::new()
+        };
+        let tokens = if matches!(metric, StringMetric::MongeElkan) {
+            string::tokens(&lower)
+        } else {
+            Vec::new()
+        };
+        let token_set = if needs_token_set {
+            string::token_set(&lower)
+        } else {
+            Vec::new()
+        };
+        let trigrams = if matches!(metric, StringMetric::TrigramJaccard) {
+            string::trigram_set(&lower)
+        } else {
+            Vec::new()
+        };
+        Self {
+            raw: raw.to_string(),
+            numeric: raw.trim().parse::<f64>().ok(),
+            empty: raw.is_empty(),
+            chars,
+            tokens,
+            token_set,
+            trigrams,
+        }
+    }
+}
+
+/// Applies `metric` to two precomputed forms. Bit-identical to
+/// [`StringMetric::apply`] on the lowercased strings the forms came from.
+fn apply_forms(metric: StringMetric, a: &StrForms, b: &StrForms) -> f64 {
+    match metric {
+        StringMetric::Levenshtein => string::levenshtein_similarity_chars(&a.chars, &b.chars),
+        StringMetric::JaroWinkler => string::jaro_winkler_chars(&a.chars, &b.chars),
+        StringMetric::TokenJaccard => string::token_jaccard_sorted(&a.token_set, &b.token_set),
+        StringMetric::TrigramJaccard => {
+            if a.empty && b.empty {
+                1.0
+            } else if a.empty || b.empty {
+                0.0
+            } else {
+                string::trigram_jaccard_sorted(&a.trigrams, &b.trigrams)
+            }
+        }
+        StringMetric::MongeElkan => string::monge_elkan_tokens(&a.tokens, &b.tokens),
+        StringMetric::Hybrid => string::levenshtein_similarity_chars(&a.chars, &b.chars)
+            .max(string::token_jaccard_sorted(&a.token_set, &b.token_set)),
+    }
+}
+
+/// One lock shard of a cache layer.
+type Shard<K, V> = RwLock<HashMap<K, V>>;
+
+/// A thread-safe read-through memo table for [`value_similarity`].
+///
+/// Create one per pipeline (space build, PARIS run) and share it across
+/// worker threads and fixpoint rounds. All entries are keyed on interned
+/// ids, so a cache must only be used with terms from the one [`Interner`]
+/// it is queried with.
+#[derive(Debug)]
+pub struct SimCache {
+    cfg: SimConfig,
+    values: Box<[Shard<(Term, Term), f64>]>,
+    forms: Box<[Shard<FormKey, Arc<StrForms>>]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SimCache {
+    /// An empty cache computing with `cfg`.
+    pub fn new(cfg: SimConfig) -> Self {
+        Self {
+            cfg,
+            values: (0..SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            forms: (0..SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The similarity configuration this cache computes with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Memoized [`value_similarity`]. Symmetric by construction: the score
+    /// is computed once for the ordered pair `(min, max)`.
+    pub fn value_similarity(&self, a: &Term, b: &Term, interner: &Interner) -> f64 {
+        let key = if a <= b { (*a, *b) } else { (*b, *a) };
+        let shard = &self.values[shard_of(&key)];
+        if let Some(&v) = shard.read().expect("value shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = self.compute(&key.0, &key.1, interner);
+        shard.write().expect("value shard poisoned").insert(key, v);
+        v
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct term pairs cached.
+    pub fn len(&self) -> usize {
+        self.values
+            .iter()
+            .map(|s| s.read().expect("value shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether no pair has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The uncached computation, routed through precomputed string forms
+    /// for the hot string-vs-string and IRI-vs-IRI paths.
+    fn compute(&self, a: &Term, b: &Term, interner: &Interner) -> f64 {
+        match (a, b) {
+            (Term::Iri(x), Term::Iri(y)) => {
+                if x == y {
+                    1.0
+                } else {
+                    self.string_sim_keys(FormKey::IriLocal(x.0), FormKey::IriLocal(y.0), interner)
+                }
+            }
+            (Term::Literal(x), Term::Literal(y)) => match (x.as_str_id(), y.as_str_id()) {
+                (Some(sx), Some(sy)) => {
+                    if sx == sy {
+                        1.0
+                    } else {
+                        self.string_sim_keys(FormKey::Lit(sx), FormKey::Lit(sy), interner)
+                    }
+                }
+                // Numeric/date/boolean/cross-family pairs: no string forms
+                // to reuse — delegate to the plain dispatch (still memoized
+                // at the value layer above).
+                _ => value_similarity(a, b, interner, &self.cfg),
+            },
+            _ => value_similarity(a, b, interner, &self.cfg),
+        }
+    }
+
+    /// `string_sim` over cached forms: equality fast path, numeric
+    /// shortcut, then the configured metric — the same decision ladder as
+    /// [`string_sim`], computed from forms instead of fresh allocations.
+    fn string_sim_keys(&self, ka: FormKey, kb: FormKey, interner: &Interner) -> f64 {
+        let fa = self.forms(ka, interner);
+        let fb = self.forms(kb, interner);
+        if fa.raw == fb.raw {
+            return 1.0;
+        }
+        if let (Some(x), Some(y)) = (fa.numeric, fb.numeric) {
+            return numeric_sim(&self.cfg, x, y);
+        }
+        apply_forms(self.cfg.string_metric, &fa, &fb)
+    }
+
+    /// The cached forms of one string, building them on first sight.
+    fn forms(&self, key: FormKey, interner: &Interner) -> Arc<StrForms> {
+        let shard = &self.forms[shard_of(&key)];
+        if let Some(f) = shard.read().expect("form shard poisoned").get(&key) {
+            return Arc::clone(f);
+        }
+        let raw = match key {
+            FormKey::Lit(id) => interner.resolve(id).to_string(),
+            FormKey::IriLocal(id) => {
+                let iri = interner.resolve(id);
+                crate::iri_local_name(&iri).to_string()
+            }
+        };
+        let built = Arc::new(StrForms::build(&raw, self.cfg.string_metric));
+        let mut guard = shard.write().expect("form shard poisoned");
+        Arc::clone(guard.entry(key).or_insert(built))
+    }
+}
+
+fn shard_of<K: Hash>(key: &K) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::string_sim;
+    use alex_rdf::{Date, IriId, Literal};
+
+    fn terms(interner: &Interner) -> Vec<Term> {
+        vec![
+            Literal::str(interner, "LeBron James").into(),
+            Literal::str(interner, "lebron raymone james").into(),
+            Literal::str(interner, "Kobe Bryant").into(),
+            Literal::str(interner, "1984").into(),
+            Literal::str(interner, "").into(),
+            Literal::LangStr {
+                value: interner.intern("LeBron James"),
+                lang: interner.intern("en"),
+            }
+            .into(),
+            Literal::Integer(1984).into(),
+            Literal::Integer(1986).into(),
+            Literal::float(1984.5).into(),
+            Literal::Boolean(true).into(),
+            Literal::Date(Date::new(1984, 12, 30).unwrap()).into(),
+            Term::Iri(IriId(interner.intern("http://db/resource/LeBron_James"))),
+            Term::Iri(IriId(interner.intern("http://nyt/people/lebron_james"))),
+            Term::Iri(IriId(interner.intern("http://db/resource/Kobe_Bryant"))),
+        ]
+    }
+
+    /// The cached score equals the plain function on the canonical order,
+    /// for every metric and every pair of term kinds.
+    #[test]
+    fn cached_matches_plain_in_canonical_order() {
+        let interner = Interner::new_shared();
+        let all = terms(&interner);
+        for metric in [
+            StringMetric::Levenshtein,
+            StringMetric::JaroWinkler,
+            StringMetric::TokenJaccard,
+            StringMetric::TrigramJaccard,
+            StringMetric::MongeElkan,
+            StringMetric::Hybrid,
+        ] {
+            let cfg = SimConfig {
+                string_metric: metric,
+                ..SimConfig::default()
+            };
+            let cache = SimCache::new(cfg);
+            for a in &all {
+                for b in &all {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let want = value_similarity(lo, hi, &interner, &cfg);
+                    let got = cache.value_similarity(a, b, &interner);
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{metric:?}: {a:?} vs {b:?} -> {got} want {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_is_exactly_symmetric() {
+        let interner = Interner::new_shared();
+        let all = terms(&interner);
+        let cache = SimCache::new(SimConfig::default());
+        for a in &all {
+            for b in &all {
+                let ab = cache.value_similarity(a, b, &interner);
+                let ba = cache.value_similarity(b, a, &interner);
+                assert_eq!(ab.to_bits(), ba.to_bits(), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let interner = Interner::new_shared();
+        let cache = SimCache::new(SimConfig::default());
+        let a: Term = Literal::str(&interner, "alpha beta").into();
+        let b: Term = Literal::str(&interner, "beta alpha").into();
+        assert_eq!(cache.stats(), CacheStats::default());
+        cache.value_similarity(&a, &b, &interner);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 0);
+        cache.value_similarity(&a, &b, &interner);
+        cache.value_similarity(&b, &a, &interner); // symmetric hit
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    /// Hammering one cache from many threads returns the same bits as a
+    /// fresh serial cache, for every queried pair.
+    #[test]
+    fn concurrent_reads_are_consistent() {
+        let interner = Interner::new_shared();
+        let mut all = Vec::new();
+        for i in 0..40 {
+            all.push(Term::from(Literal::str(
+                &interner,
+                &format!("entity number {}", i % 13),
+            )));
+            all.push(Term::Iri(IriId(interner.intern(&format!("e/{}", i % 7)))));
+            all.push(Term::from(Literal::Integer(1900 + (i as i64 % 9))));
+        }
+        let shared = SimCache::new(SimConfig::default());
+        let results: Vec<Vec<(usize, usize, u64)>> = {
+            let shared = &shared;
+            let all = &all;
+            let interner = &interner;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|t| {
+                        s.spawn(move || {
+                            let mut out = Vec::new();
+                            for i in 0..all.len() {
+                                for j in 0..all.len() {
+                                    if (i + j) % 4 == t {
+                                        let v = shared.value_similarity(&all[i], &all[j], interner);
+                                        out.push((i, j, v.to_bits()));
+                                    }
+                                }
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+        };
+        let serial = SimCache::new(SimConfig::default());
+        for (i, j, bits) in results.into_iter().flatten() {
+            let want = serial.value_similarity(&all[i], &all[j], &interner);
+            assert_eq!(bits, want.to_bits(), "pair ({i}, {j})");
+        }
+        let s = shared.stats();
+        assert_eq!(s.total(), (all.len() * all.len()) as u64);
+        assert!(s.hits > 0, "duplicate strings must hit: {s:?}");
+    }
+
+    /// `string_sim` and the forms path agree bit-for-bit (the forms are
+    /// rebuilt from the same lowercasing/tokenizing pipeline).
+    #[test]
+    fn forms_path_matches_string_sim() {
+        let pairs = [
+            ("LeBron James", "lebron raymone james"),
+            ("  1984 ", "1985"),
+            ("", "x"),
+            ("café", "cafe"),
+            ("a-b-c", "c b a"),
+        ];
+        for metric in [
+            StringMetric::Levenshtein,
+            StringMetric::JaroWinkler,
+            StringMetric::TokenJaccard,
+            StringMetric::TrigramJaccard,
+            StringMetric::MongeElkan,
+            StringMetric::Hybrid,
+        ] {
+            let cfg = SimConfig {
+                string_metric: metric,
+                ..SimConfig::default()
+            };
+            for (a, b) in pairs {
+                let fa = StrForms::build(a, metric);
+                let fb = StrForms::build(b, metric);
+                let via_forms = if fa.raw == fb.raw {
+                    1.0
+                } else if let (Some(x), Some(y)) = (fa.numeric, fb.numeric) {
+                    numeric_sim(&cfg, x, y)
+                } else {
+                    apply_forms(metric, &fa, &fb)
+                };
+                let direct = string_sim(&cfg, a, b);
+                assert_eq!(
+                    via_forms.to_bits(),
+                    direct.to_bits(),
+                    "{metric:?}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+}

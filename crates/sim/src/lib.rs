@@ -12,7 +12,10 @@
 //! * [`numeric`] — ratio similarity for numbers and a distance-decay
 //!   similarity for calendar dates;
 //! * [`value_similarity`] — the type-dispatching entry point over RDF
-//!   [`alex_rdf::Term`]s, configurable via [`SimConfig`].
+//!   [`alex_rdf::Term`]s, configurable via [`SimConfig`];
+//! * [`SimCache`] — a thread-safe, sharded memo table over
+//!   [`value_similarity`] that also caches tokenized string forms, used by
+//!   the parallel exploration-space and PARIS pipelines.
 //!
 //! Every public metric is guaranteed to return a finite value in `[0, 1]`,
 //! to be symmetric in its arguments, and to return exactly `1.0` on equal
@@ -21,8 +24,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod cache;
 pub mod numeric;
 pub mod string;
 mod value;
 
+pub use cache::{CacheStats, SimCache};
 pub use value::{iri_local_name, value_similarity, NumericSim, SimConfig, StringMetric};

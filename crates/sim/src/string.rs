@@ -10,11 +10,13 @@
 pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() {
-        (&a, &b)
-    } else {
-        (&b, &a)
-    };
+    levenshtein_chars(&a, &b)
+}
+
+/// [`levenshtein`] over pre-collected char slices, so callers comparing
+/// the same string many times (the similarity cache) tokenize once.
+pub fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if short.is_empty() {
         return long.len();
     }
@@ -35,17 +37,29 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 ///
 /// Empty-vs-empty is defined as `1.0`.
 pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
-    let max_len = a.chars().count().max(b.chars().count());
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    levenshtein_similarity_chars(&a, &b)
+}
+
+/// [`levenshtein_similarity`] over pre-collected char slices.
+pub fn levenshtein_similarity_chars(a: &[char], b: &[char]) -> f64 {
+    let max_len = a.len().max(b.len());
     if max_len == 0 {
         return 1.0;
     }
-    1.0 - levenshtein(a, b) as f64 / max_len as f64
+    1.0 - levenshtein_chars(a, b) as f64 / max_len as f64
 }
 
 /// Jaro similarity, in `[0, 1]`.
 pub fn jaro(a: &str, b: &str) -> f64 {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    jaro_chars(&a, &b)
+}
+
+/// [`jaro`] over pre-collected char slices.
+pub fn jaro_chars(a: &[char], b: &[char]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -90,10 +104,17 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// Jaro-Winkler similarity with the standard prefix scale `p = 0.1` and a
 /// prefix cap of 4, in `[0, 1]`.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
-    let j = jaro(a, b);
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    jaro_winkler_chars(&a, &b)
+}
+
+/// [`jaro_winkler`] over pre-collected char slices.
+pub fn jaro_winkler_chars(a: &[char], b: &[char]) -> f64 {
+    let j = jaro_chars(a, b);
     let prefix = a
-        .chars()
-        .zip(b.chars())
+        .iter()
+        .zip(b.iter())
         .take(4)
         .take_while(|(x, y)| x == y)
         .count() as f64;
@@ -108,17 +129,43 @@ pub fn tokens(s: &str) -> Vec<String> {
         .collect()
 }
 
+/// The token *set* of a string: [`tokens`], sorted and deduplicated —
+/// the precomputed form [`token_jaccard_sorted`] consumes.
+pub fn token_set(s: &str) -> Vec<String> {
+    let mut t = tokens(s);
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
 /// Jaccard similarity over the lowercase token *sets* of the two strings.
 ///
 /// Empty-vs-empty is `1.0`; empty-vs-nonempty is `0.0`.
 pub fn token_jaccard(a: &str, b: &str) -> f64 {
-    use std::collections::HashSet;
-    let ta: HashSet<String> = tokens(a).into_iter().collect();
-    let tb: HashSet<String> = tokens(b).into_iter().collect();
+    token_jaccard_sorted(&token_set(a), &token_set(b))
+}
+
+/// [`token_jaccard`] over precomputed sorted, deduplicated token sets.
+///
+/// Intersection and union sizes are integers counted by a sorted merge, so
+/// the result is bit-identical to the hash-set formulation.
+pub fn token_jaccard_sorted(ta: &[String], tb: &[String]) -> f64 {
     if ta.is_empty() && tb.is_empty() {
         return 1.0;
     }
-    let inter = ta.intersection(&tb).count();
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ta.len() && j < tb.len() {
+        match ta[i].cmp(&tb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
     let union = ta.len() + tb.len() - inter;
     if union == 0 {
         1.0
@@ -155,26 +202,49 @@ pub fn token_cosine(a: &str, b: &str) -> f64 {
     }
 }
 
+/// The sorted, deduplicated trigram set of a string (lowercased, with
+/// `^`/`$` padding) — the precomputed form [`trigram_jaccard_sorted`]
+/// consumes.
+pub fn trigram_set(s: &str) -> Vec<[char; 3]> {
+    let padded: Vec<char> = std::iter::once('^')
+        .chain(s.to_lowercase().chars())
+        .chain(std::iter::once('$'))
+        .collect();
+    let mut grams: Vec<[char; 3]> = padded.windows(3).map(|w| [w[0], w[1], w[2]]).collect();
+    grams.sort_unstable();
+    grams.dedup();
+    grams
+}
+
 /// Jaccard similarity over lowercase character trigrams (with `^`/`$`
 /// padding so short strings still produce grams).
 pub fn trigram_jaccard(a: &str, b: &str) -> f64 {
-    use std::collections::HashSet;
-    fn grams(s: &str) -> HashSet<(char, char, char)> {
-        let padded: Vec<char> = std::iter::once('^')
-            .chain(s.to_lowercase().chars())
-            .chain(std::iter::once('$'))
-            .collect();
-        padded.windows(3).map(|w| (w[0], w[1], w[2])).collect()
-    }
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
     if a.is_empty() || b.is_empty() {
         return 0.0;
     }
-    let ga = grams(a);
-    let gb = grams(b);
-    let inter = ga.intersection(&gb).count();
+    trigram_jaccard_sorted(&trigram_set(a), &trigram_set(b))
+}
+
+/// [`trigram_jaccard`] over precomputed trigram sets of two **non-empty**
+/// strings (the empty-string cases are decided on the raw strings before
+/// grams exist; callers with precomputed forms handle them the same way).
+pub fn trigram_jaccard_sorted(ga: &[[char; 3]], gb: &[[char; 3]]) -> f64 {
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ga.len() && j < gb.len() {
+        match ga[i].cmp(&gb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
     let union = ga.len() + gb.len() - inter;
     if union == 0 {
         1.0
@@ -188,8 +258,12 @@ pub fn trigram_jaccard(a: &str, b: &str) -> f64 {
 /// and average. Symmetrized by evaluating both directions and taking the
 /// mean. Strong on multi-token names where individual tokens carry typos.
 pub fn monge_elkan(a: &str, b: &str) -> f64 {
-    let ta = tokens(a);
-    let tb = tokens(b);
+    monge_elkan_tokens(&tokens(a), &tokens(b))
+}
+
+/// [`monge_elkan`] over precomputed *ordered* token lists (duplicates
+/// preserved — the directed averages weight repeated tokens).
+pub fn monge_elkan_tokens(ta: &[String], tb: &[String]) -> f64 {
     if ta.is_empty() && tb.is_empty() {
         return 1.0;
     }
@@ -207,7 +281,7 @@ pub fn monge_elkan(a: &str, b: &str) -> f64 {
             .sum();
         total / xs.len() as f64
     }
-    (directed(&ta, &tb) + directed(&tb, &ta)) / 2.0
+    (directed(ta, tb) + directed(tb, ta)) / 2.0
 }
 
 #[cfg(test)]
@@ -298,6 +372,43 @@ mod tests {
             monge_elkan("alpha beta gamma", "beta alpha"),
             monge_elkan("beta alpha", "alpha beta gamma"),
         );
+    }
+
+    #[test]
+    fn precomputed_forms_match_direct_metrics() {
+        let cases = [
+            ("lebron james", "james lebron raymone"),
+            ("kitten", "sitting"),
+            ("", ""),
+            ("one", ""),
+            ("café crème", "cafe creme"),
+            ("a a b", "a b b"),
+        ];
+        for (a, b) in cases {
+            let (ca, cb): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+            assert_eq!(
+                levenshtein_similarity(a, b).to_bits(),
+                levenshtein_similarity_chars(&ca, &cb).to_bits()
+            );
+            assert_eq!(
+                jaro_winkler(a, b).to_bits(),
+                jaro_winkler_chars(&ca, &cb).to_bits()
+            );
+            assert_eq!(
+                token_jaccard(a, b).to_bits(),
+                token_jaccard_sorted(&token_set(a), &token_set(b)).to_bits()
+            );
+            assert_eq!(
+                monge_elkan(a, b).to_bits(),
+                monge_elkan_tokens(&tokens(a), &tokens(b)).to_bits()
+            );
+            if !a.is_empty() && !b.is_empty() {
+                assert_eq!(
+                    trigram_jaccard(a, b).to_bits(),
+                    trigram_jaccard_sorted(&trigram_set(a), &trigram_set(b)).to_bits()
+                );
+            }
+        }
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl Default for SimConfig {
 /// Case-insensitive string comparison entry point used for all string-ish
 /// pairs (lowercasing first makes every configured metric case-insensitive,
 /// matching how links in LOD ground truths treat labels).
-fn string_sim(cfg: &SimConfig, a: &str, b: &str) -> f64 {
+pub(crate) fn string_sim(cfg: &SimConfig, a: &str, b: &str) -> f64 {
     if a == b {
         return 1.0;
     }
@@ -156,7 +156,7 @@ pub fn value_similarity(a: &Term, b: &Term, interner: &Interner, cfg: &SimConfig
     }
 }
 
-fn numeric_sim(cfg: &SimConfig, a: f64, b: f64) -> f64 {
+pub(crate) fn numeric_sim(cfg: &SimConfig, a: f64, b: f64) -> f64 {
     match cfg.numeric {
         NumericSim::Ratio => numeric_similarity(a, b),
         NumericSim::HalfLife => half_life_similarity(a, b, cfg.numeric_half_diff),
