@@ -208,6 +208,13 @@ impl AlexDriver {
         &self.engines
     }
 
+    /// Mutable access to the partition engines — used when restoring
+    /// persisted learning state into a freshly built driver
+    /// ([`crate::SessionSnapshot::restore`]).
+    pub fn engines_mut(&mut self) -> &mut [PartitionEngine] {
+        &mut self.engines
+    }
+
     /// Union of all partitions' candidate links.
     pub fn candidate_links(&self) -> HashSet<Link> {
         let mut out = HashSet::new();

@@ -1,17 +1,26 @@
 //! Session persistence: snapshot and restore a curation session.
 //!
 //! A real deployment of ALEX curates links over days or weeks of user
-//! feedback, so the curated state — candidate links, blacklist, and
-//! configuration — must survive restarts. Snapshots serialize links as IRI
-//! *strings* (interned ids are process-local), so a snapshot taken against
-//! one store instance restores correctly against a freshly loaded copy of
-//! the same datasets.
+//! feedback, so the curated state — candidate links, blacklist, learned
+//! policy, and configuration — must survive restarts. Snapshots serialize
+//! links and features as IRI *strings* (interned ids are process-local),
+//! so a snapshot taken against one store instance restores correctly
+//! against a freshly loaded copy of the same datasets.
 //!
-//! The learned Q-values and policy are deliberately *not* persisted: they
-//! are estimates over the current candidate geometry and cheap to relearn,
-//! while persisting them would couple the snapshot format to internal
-//! representation details. (The paper's system makes the same trade — its
-//! convergence state is the candidate link set.)
+//! Since format version 2 a snapshot carries the full learning state per
+//! partition: the Monte-Carlo `Returns(s, a)` sums and visit counts, the
+//! greedy policy, rolled-back (banned) state-actions, and the raw RNG
+//! stream. Earlier versions persisted only the candidate geometry, which
+//! silently reset learning on every restart — a restored session would
+//! make *different* exploration choices than the one it resumed. Now a
+//! restored session makes exactly the same next choice as the original
+//! (the ε schedule itself lives in [`AlexConfig`], which was always
+//! persisted). Version-1 snapshots still load; their learning state is
+//! simply empty.
+//!
+//! Snapshots also keep the degraded-answer bookkeeping from the federated
+//! query layer (queries answered partially because sources were skipped),
+//! so availability accounting survives restarts too.
 
 use std::sync::Arc;
 
@@ -21,6 +30,35 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::AlexConfig;
 use crate::driver::AlexDriver;
+use crate::engine::PartitionEngine;
+use crate::feature::FeatureKey;
+
+/// One persisted `Returns(s, a)` entry: the state link, the feature
+/// explored around, and the Monte-Carlo return statistics.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct QEntrySnapshot {
+    /// State link as (left IRI, right IRI).
+    pub state: (String, String),
+    /// Feature key as (left predicate IRI, right predicate IRI).
+    pub action: (String, String),
+    /// Sum of recorded returns.
+    pub sum: f64,
+    /// Number of recorded returns (first visits).
+    pub count: u32,
+}
+
+/// The learned state of one partition engine, in snapshot form.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq)]
+pub struct PartitionPolicySnapshot {
+    /// Monte-Carlo returns, sorted for stable output.
+    pub returns: Vec<QEntrySnapshot>,
+    /// Greedy policy: state → action, both as IRI pairs, sorted.
+    pub greedy: Vec<((String, String), (String, String))>,
+    /// Rolled-back state-action pairs (never re-taken), sorted.
+    pub banned: Vec<((String, String), (String, String))>,
+    /// Raw xoshiro256++ state of the partition's RNG.
+    pub rng: [u64; 4],
+}
 
 /// A serializable snapshot of a curation session.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
@@ -33,10 +71,20 @@ pub struct SessionSnapshot {
     pub blacklist: Vec<(String, String)>,
     /// The configuration the session ran with.
     pub config: AlexConfig,
+    /// Learned policy state per partition, in partition order. Empty in
+    /// version-1 snapshots (learning restarts from scratch).
+    #[serde(default)]
+    pub policy: Vec<PartitionPolicySnapshot>,
+    /// Queries this session answered with a degraded (partial) answer set.
+    #[serde(default)]
+    pub degraded_queries: u64,
+    /// Skipped-source incidents across those degraded queries.
+    #[serde(default)]
+    pub source_skips: u64,
 }
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Errors restoring a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,39 +111,99 @@ impl std::fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
+fn link_strings(l: Link, left: &Store, right: &Store) -> (String, String) {
+    (
+        left.iri_str(l.left).to_string(),
+        right.iri_str(l.right).to_string(),
+    )
+}
+
+fn feature_strings(a: FeatureKey, left: &Store, right: &Store) -> (String, String) {
+    (
+        left.iri_str(a.left).to_string(),
+        right.iri_str(a.right).to_string(),
+    )
+}
+
+fn capture_policy(
+    engine: &PartitionEngine,
+    left: &Store,
+    right: &Store,
+) -> PartitionPolicySnapshot {
+    let mut returns: Vec<QEntrySnapshot> = engine
+        .q_table()
+        .entries()
+        .map(|((state, action), sum, count)| QEntrySnapshot {
+            state: link_strings(state, left, right),
+            action: feature_strings(action, left, right),
+            sum,
+            count,
+        })
+        .collect();
+    returns.sort_by(|a, b| (&a.state, &a.action).cmp(&(&b.state, &b.action)));
+    let mut greedy: Vec<_> = engine
+        .policy()
+        .entries()
+        .map(|(s, a)| {
+            (
+                link_strings(s, left, right),
+                feature_strings(a, left, right),
+            )
+        })
+        .collect();
+    greedy.sort();
+    let mut banned: Vec<_> = engine
+        .banned_actions()
+        .iter()
+        .map(|&(s, a)| {
+            (
+                link_strings(s, left, right),
+                feature_strings(a, left, right),
+            )
+        })
+        .collect();
+    banned.sort();
+    PartitionPolicySnapshot {
+        returns,
+        greedy,
+        banned,
+        rng: engine.rng_state(),
+    }
+}
+
 impl SessionSnapshot {
     /// Captures the current state of a driver. `left`/`right` resolve ids
     /// back to IRIs and must be the stores the driver was built over.
+    /// Degraded-query counters start at zero; [`LiveSession::snapshot`]
+    /// fills them from its own bookkeeping.
     pub fn capture(driver: &AlexDriver, left: &Store, right: &Store) -> Self {
         let mut candidates: Vec<(String, String)> = driver
             .candidate_links()
             .into_iter()
-            .map(|l| {
-                (
-                    left.iri_str(l.left).to_string(),
-                    right.iri_str(l.right).to_string(),
-                )
-            })
+            .map(|l| link_strings(l, left, right))
             .collect();
         candidates.sort();
         let mut blacklist: Vec<(String, String)> = driver
             .engines()
             .iter()
             .flat_map(|e| e.blacklist().iter())
-            .map(|l| {
-                (
-                    left.iri_str(l.left).to_string(),
-                    right.iri_str(l.right).to_string(),
-                )
-            })
+            .map(|l| link_strings(*l, left, right))
             .collect();
         blacklist.sort();
         blacklist.dedup();
+        let policy = driver
+            .engines()
+            .iter()
+            .map(|e| capture_policy(e, left, right))
+            .collect();
         Self {
             version: SNAPSHOT_VERSION,
             candidates,
             blacklist,
             config: driver.config().clone(),
+            policy,
+            degraded_queries: 0,
+            source_skips: 0,
         }
     }
 
@@ -126,11 +234,38 @@ impl SessionSnapshot {
         (resolve(&self.candidates), resolve(&self.blacklist))
     }
 
-    /// Rebuilds a driver from this snapshot over `left`/`right`: the
-    /// candidate set and blacklist resume where the session left off.
+    /// Rebuilds a driver from this snapshot over `left`/`right`: candidate
+    /// set, blacklist, *and* learned policy state resume where the session
+    /// left off, so the restored driver makes the same next exploration
+    /// choice the original would have.
     pub fn restore(&self, left: &Store, right: &Store) -> Result<AlexDriver, String> {
         let (candidates, blacklist) = self.links(left, right);
-        AlexDriver::new_with_state(left, right, &candidates, &blacklist, self.config.clone())
+        let mut driver =
+            AlexDriver::new_with_state(left, right, &candidates, &blacklist, self.config.clone())?;
+        let engines = driver.engines_mut();
+        // Partition assignment is deterministic (round-robin over the left
+        // store's subject order), so partition k's learning state restores
+        // into engine k. A partition-count mismatch means the config was
+        // edited by hand; learning restarts empty rather than mis-routing.
+        if self.policy.len() == engines.len() {
+            let link =
+                |p: &(String, String)| Link::new(left.intern_iri(&p.0), right.intern_iri(&p.1));
+            let feature = |p: &(String, String)| FeatureKey {
+                left: left.intern_iri(&p.0),
+                right: right.intern_iri(&p.1),
+            };
+            for (engine, snap) in engines.iter_mut().zip(&self.policy) {
+                engine.restore_learning(
+                    snap.returns
+                        .iter()
+                        .map(|e| ((link(&e.state), feature(&e.action)), e.sum, e.count)),
+                    snap.greedy.iter().map(|(s, a)| (link(s), feature(a))),
+                    snap.banned.iter().map(|(s, a)| (link(s), feature(a))),
+                    snap.rng,
+                );
+            }
+        }
+        Ok(driver)
     }
 }
 
@@ -150,6 +285,11 @@ pub struct LiveSession {
     pub episodes: u64,
     /// Total feedback items processed across episodes.
     pub feedback_items: u64,
+    /// Queries answered with a degraded (partial) answer set because one
+    /// or more federated sources had to be skipped.
+    pub degraded_queries: u64,
+    /// Total skipped-source incidents across degraded queries.
+    pub source_skips: u64,
 }
 
 impl LiveSession {
@@ -161,12 +301,34 @@ impl LiveSession {
             driver,
             episodes: 0,
             feedback_items: 0,
+            degraded_queries: 0,
+            source_skips: 0,
         }
     }
 
-    /// Captures a persistable snapshot of the current curation state.
+    /// Records the outcome of one federated query: `skipped_sources > 0`
+    /// means the answer set may be partial.
+    pub fn record_query_outcome(&mut self, skipped_sources: usize) {
+        if skipped_sources > 0 {
+            self.degraded_queries += 1;
+            self.source_skips += skipped_sources as u64;
+        }
+    }
+
+    /// Captures a persistable snapshot of the current curation state,
+    /// including the degraded-answer counters.
     pub fn snapshot(&self) -> SessionSnapshot {
-        SessionSnapshot::capture(&self.driver, &self.left, &self.right)
+        let mut snap = SessionSnapshot::capture(&self.driver, &self.left, &self.right);
+        snap.degraded_queries = self.degraded_queries;
+        snap.source_skips = self.source_skips;
+        snap
+    }
+
+    /// Restores the degraded-answer counters from a snapshot (the driver
+    /// itself is restored via [`SessionSnapshot::restore`]).
+    pub fn restore_counters(&mut self, snap: &SessionSnapshot) {
+        self.degraded_queries = snap.degraded_queries;
+        self.source_skips = snap.source_skips;
     }
 }
 
@@ -244,6 +406,11 @@ mod tests {
         let json = snap.to_json();
         let back = SessionSnapshot::from_json(&json).unwrap();
         assert_eq!(back, snap);
+        assert_eq!(back.version, SNAPSHOT_VERSION);
+        assert_eq!(back.policy.len(), 2, "one policy snapshot per partition");
+        // After a run with feedback the learning state is non-trivial and
+        // it all survived the round trip.
+        assert!(back.policy.iter().any(|p| !p.returns.is_empty()));
     }
 
     #[test]
@@ -258,6 +425,114 @@ mod tests {
         let snap = SessionSnapshot::capture(&driver, &left, &right);
         let restored = snap.restore(&left, &right).unwrap();
         assert_eq!(restored.candidate_links(), before);
+    }
+
+    #[test]
+    fn restore_resumes_full_learning_state() {
+        let (left, right, truth) = world();
+        let initial: Vec<Link> = truth.iter().take(3).copied().collect();
+        let mut driver = AlexDriver::new(&left, &right, &initial, small_cfg()).unwrap();
+        let oracle = ExactOracle::new(truth.clone());
+        driver.run(&oracle, &truth);
+
+        let snap = SessionSnapshot::capture(&driver, &left, &right);
+        let restored = snap.restore(&left, &right).unwrap();
+        for (orig, back) in driver.engines().iter().zip(restored.engines()) {
+            assert_eq!(orig.q_table().len(), back.q_table().len());
+            assert_eq!(orig.policy().len(), back.policy().len());
+            assert_eq!(orig.banned_actions(), back.banned_actions());
+            assert_eq!(orig.rng_state(), back.rng_state(), "RNG stream resumes");
+            // Every Q entry survives with its exact statistics.
+            for (sa, sum, count) in orig.q_table().entries() {
+                assert_eq!(back.q_table().observations(sa.0, sa.1), count);
+                let q = back.q_table().q(sa.0, sa.1).unwrap();
+                assert!((q - sum / f64::from(count)).abs() < 1e-12);
+            }
+            // The greedy policy is identical state by state.
+            for (s, a) in orig.policy().entries() {
+                assert_eq!(back.policy().greedy_action(s), Some(a));
+            }
+        }
+        assert!(
+            driver.engines().iter().any(|e| !e.q_table().is_empty()),
+            "the run produced learning state to compare"
+        );
+    }
+
+    #[test]
+    fn restored_session_makes_the_same_next_choice() {
+        let (left, right, truth) = world();
+        let initial: Vec<Link> = truth.iter().take(3).copied().collect();
+        // Nonzero ε so the next choice depends on the RNG stream, not just
+        // the greedy map — the strongest form of the round-trip guarantee.
+        let cfg = AlexConfig {
+            epsilon: 0.3,
+            ..small_cfg()
+        };
+        let mut driver = AlexDriver::new(&left, &right, &initial, cfg).unwrap();
+        let oracle = ExactOracle::new(truth.clone());
+        driver.run(&oracle, &truth);
+
+        let snap = SessionSnapshot::capture(&driver, &left, &right);
+        let mut restored = snap.restore(&left, &right).unwrap();
+
+        // Drive both sessions through the same next episode of feedback;
+        // identical learning state + identical RNG ⇒ identical outcome.
+        let drive = |d: &mut AlexDriver| {
+            d.step(&oracle);
+            let mut links: Vec<Link> = d.candidate_links().into_iter().collect();
+            links.sort();
+            links
+        };
+        assert_eq!(drive(&mut driver), drive(&mut restored));
+    }
+
+    #[test]
+    fn version1_snapshots_load_with_empty_learning_state() {
+        let (left, right, truth) = world();
+        let initial: Vec<Link> = truth.iter().take(2).copied().collect();
+        let driver = AlexDriver::new(&left, &right, &initial, small_cfg()).unwrap();
+        let mut snap = SessionSnapshot::capture(&driver, &left, &right);
+        snap.version = 1;
+        // Simulate a real pre-policy-state file: the new keys must be
+        // *absent* from the JSON, not merely empty — version-1 writers
+        // never emitted them.
+        let mut value = serde_json::to_value(&snap).unwrap();
+        let serde::Value::Object(fields) = &mut value else {
+            panic!("snapshot serializes as an object");
+        };
+        fields
+            .retain(|(k, _)| !matches!(k.as_str(), "policy" | "degraded_queries" | "source_skips"));
+        let json = value.to_json_string(true);
+        let back = SessionSnapshot::from_json(&json).unwrap();
+        assert_eq!(back.policy, vec![]);
+        assert_eq!(back.degraded_queries, 0);
+        let restored = back.restore(&left, &right).unwrap();
+        assert!(restored.engines().iter().all(|e| e.q_table().is_empty()));
+    }
+
+    #[test]
+    fn degraded_answer_bookkeeping_round_trips() {
+        let (left, right, truth) = world();
+        let initial: Vec<Link> = truth.iter().take(2).copied().collect();
+        let driver = AlexDriver::new(&left, &right, &initial, small_cfg()).unwrap();
+        let mut session = LiveSession::new(left, right, driver);
+        session.record_query_outcome(0); // clean query: not degraded
+        session.record_query_outcome(2);
+        session.record_query_outcome(1);
+        assert_eq!(session.degraded_queries, 2);
+        assert_eq!(session.source_skips, 3);
+
+        let snap = session.snapshot();
+        assert_eq!(snap.degraded_queries, 2);
+        assert_eq!(snap.source_skips, 3);
+        let back = SessionSnapshot::from_json(&snap.to_json()).unwrap();
+
+        let driver2 = back.restore(&session.left, &session.right).unwrap();
+        let mut resumed = LiveSession::new(session.left, session.right, driver2);
+        resumed.restore_counters(&back);
+        assert_eq!(resumed.degraded_queries, 2);
+        assert_eq!(resumed.source_skips, 3);
     }
 
     #[test]
@@ -338,7 +613,6 @@ mod tests {
             !out.final_links.contains(&wrong),
             "blacklisted link must not return"
         );
-        let _ = driver; // silence unused-mut path on some toolchains
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! FedX-style federated query processing with link provenance (paper §3.2).
+//! FedX-style federated query processing with link provenance (paper §3.2),
+//! hardened against source failures.
 //!
 //! A federated query spans several datasets: each triple pattern may be
 //! answered by any source, and `owl:sameAs` links let a join variable bound
@@ -8,21 +9,41 @@
 //! "interpreted as feedback on the link that is used to generate the
 //! answer" (§4).
 //!
+//! Sources are [`QuerySource`]s, not bare stores, and they are allowed to
+//! fail. The engine applies, per source:
+//!
+//! * a **virtual-time budget** per query ([`FederationConfig::source_budget_ms`]),
+//! * **bounded retries** with exponential backoff and deterministic jitter
+//!   for retryable errors (timeouts, transient faults, truncation),
+//! * a **circuit breaker** (closed → open after consecutive failures →
+//!   half-open after a cooldown → closed again on success) so a dead
+//!   source stops costing budget,
+//! * **graceful degradation**: probes that cannot be completed yield no
+//!   triples instead of failing the query, and [`QueryReport`] records
+//!   which sources were skipped so callers can tell a complete answer set
+//!   from a partial one.
+//!
 //! Implementation notes: patterns are evaluated one at a time in greedy
 //! most-bound-first order (the same strategy as the single-store executor);
 //! for each intermediate row, every source is probed — that is source
 //! selection by attempted match, which at in-memory latencies is as fast as
 //! maintaining predicate summaries. Entity translation tries the bound IRI
 //! itself plus every `owl:sameAs` counterpart, accumulating the used links
-//! in the row.
+//! in the row. Execution is serial and time is virtual (charged by probes
+//! and backoff, never read from a wall clock), so a fixed fault seed gives
+//! identical results at any thread count — and with flawless sources the
+//! results are identical to the pre-failure-model engine.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
 
-use alex_rdf::{Interner, IriId, Link, Store, Term};
+use alex_rdf::{Interner, IriId, Link, Store, Term, Triple};
 
 use crate::ast::{Group, PatternTerm, Query, TriplePattern};
 use crate::exec::{eval_filter, resolve_literal, total_term_cmp, VarTable};
+use crate::fault::{stable_mix, unit};
 use crate::parser::{parse, ParseError};
+use crate::source::{InMemorySource, QuerySource, SourceError};
 
 /// One answer of a federated query.
 #[derive(Clone, Debug, PartialEq)]
@@ -35,52 +56,328 @@ pub struct Answer {
     pub links: Vec<Link>,
 }
 
+/// Resilience knobs for federated execution. All durations are virtual
+/// milliseconds (see [`crate::source::Probe::elapsed_ms`]).
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(default)]
+pub struct FederationConfig {
+    /// Virtual milliseconds each source may consume per query (probes plus
+    /// backoff). Exhausting the budget skips the source for the rest of
+    /// the query.
+    pub source_budget_ms: u64,
+    /// Deadline handed to each individual probe attempt.
+    pub attempt_timeout_ms: u64,
+    /// Retries after the first attempt of a probe (retryable errors only).
+    pub max_retries: u32,
+    /// Base backoff before the first retry; doubles per retry.
+    pub backoff_base_ms: u64,
+    /// Upper bound on a single backoff.
+    pub backoff_cap_ms: u64,
+    /// Jitter fraction: each backoff is scaled by a deterministic factor
+    /// in `[1 − jitter/2, 1 + jitter/2]`.
+    pub backoff_jitter: f64,
+    /// Consecutive failed probes (retries exhausted) that trip the
+    /// breaker from closed to open.
+    pub breaker_threshold: u32,
+    /// Virtual milliseconds an open breaker blocks all probes before
+    /// allowing a half-open trial.
+    pub breaker_cooldown_ms: u64,
+    /// Successful probes required in half-open to close the breaker.
+    pub breaker_halfopen_successes: u32,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        Self {
+            source_budget_ms: 2_000,
+            attempt_timeout_ms: 250,
+            max_retries: 2,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 200,
+            backoff_jitter: 0.5,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 1_000,
+            breaker_halfopen_successes: 1,
+            jitter_seed: 0x5EED_A1EC,
+        }
+    }
+}
+
+impl FederationConfig {
+    /// Checks the knobs for values that would break execution.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.source_budget_ms == 0 {
+            return Err("source_budget_ms must be positive".into());
+        }
+        if self.attempt_timeout_ms == 0 {
+            return Err("attempt_timeout_ms must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.backoff_jitter) {
+            return Err(format!(
+                "backoff_jitter must be in [0, 1], got {}",
+                self.backoff_jitter
+            ));
+        }
+        if self.breaker_threshold == 0 {
+            return Err("breaker_threshold must be positive".into());
+        }
+        if self.breaker_halfopen_successes == 0 {
+            return Err("breaker_halfopen_successes must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Externally visible circuit-breaker state of one source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerKind {
+    /// Probes flow normally; failures are being counted.
+    Closed,
+    /// Probes are skipped until the cooldown elapses.
+    Open,
+    /// The cooldown elapsed; trial probes decide open vs. closed.
+    HalfOpen,
+}
+
+impl BreakerKind {
+    /// Lowercase label for logs, CLI summaries, and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerKind::Closed => "closed",
+            BreakerKind::Open => "open",
+            BreakerKind::HalfOpen => "half-open",
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Breaker {
+    Closed { failures: u32 },
+    Open { until_ms: u64 },
+    HalfOpen { successes: u32 },
+}
+
+impl Breaker {
+    fn kind(&self) -> BreakerKind {
+        match self {
+            Breaker::Closed { .. } => BreakerKind::Closed,
+            Breaker::Open { .. } => BreakerKind::Open,
+            Breaker::HalfOpen { .. } => BreakerKind::HalfOpen,
+        }
+    }
+}
+
+/// Per-source accounting of one query (also the shape of the engine's
+/// cumulative totals).
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct SourceReport {
+    /// Source name, as registered.
+    pub name: String,
+    /// Probe attempts issued (including retries).
+    pub probes: u64,
+    /// Attempts that were retries of a failed attempt.
+    pub retries: u64,
+    /// Attempts that timed out.
+    pub timeouts: u64,
+    /// Attempts that failed transiently.
+    pub transient_errors: u64,
+    /// Attempts that returned truncated answer sets (discarded).
+    pub truncations: u64,
+    /// Attempts that found the source down hard.
+    pub outages: u64,
+    /// Probes abandoned after retries were exhausted (each one may have
+    /// lost answers; any makes the query degraded).
+    pub failed_probes: u64,
+    /// Probes skipped because the breaker was open.
+    pub breaker_skipped: u64,
+    /// Probes skipped because the per-query budget ran out.
+    pub budget_exhausted: u64,
+    /// Times the breaker tripped open during this query.
+    pub breaker_opened: u64,
+    /// Breaker state after the query.
+    #[serde(skip)]
+    pub breaker: Option<BreakerKind>,
+    /// Whether any probe against this source was lost (failed or
+    /// skipped), i.e. answers from it may be missing.
+    pub skipped: bool,
+}
+
+/// The result of a federated query under the failure model: the answers
+/// that were derivable from reachable sources, plus per-source accounting.
+#[derive(Clone, Debug)]
+pub struct QueryReport {
+    /// The answers (identical to [`FederatedEngine::execute`] when no
+    /// source misbehaved).
+    pub answers: Vec<Answer>,
+    /// Per-source accounting, in registration order.
+    pub sources: Vec<SourceReport>,
+    /// True when at least one probe was lost: the answer set may be
+    /// missing contributions from the skipped sources.
+    pub degraded: bool,
+}
+
+impl QueryReport {
+    /// Names of sources that lost at least one probe, registration order.
+    pub fn skipped_sources(&self) -> Vec<&str> {
+        self.sources
+            .iter()
+            .filter(|s| s.skipped)
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+
+    /// Total retry attempts across sources.
+    pub fn total_retries(&self) -> u64 {
+        self.sources.iter().map(|s| s.retries).sum()
+    }
+
+    /// Total timed-out attempts across sources.
+    pub fn total_timeouts(&self) -> u64 {
+        self.sources.iter().map(|s| s.timeouts).sum()
+    }
+
+    /// Total breaker trips across sources during this query.
+    pub fn total_breaker_opens(&self) -> u64 {
+        self.sources.iter().map(|s| s.breaker_opened).sum()
+    }
+
+    /// Total probes abandoned across sources.
+    pub fn total_failed_probes(&self) -> u64 {
+        self.sources.iter().map(|s| s.failed_probes).sum()
+    }
+}
+
 #[derive(Clone, Debug)]
 struct FedRow {
     bindings: Vec<Option<Term>>,
     links: Vec<Link>,
 }
 
-/// A federation of stores connected by `owl:sameAs` links.
+/// Engine-persistent resilience state: the virtual clock, each source's
+/// breaker, and the jitter draw counter. Survives across queries so
+/// breaker cooldowns span queries the way they would against real
+/// endpoints.
+struct FedState {
+    clock_ms: u64,
+    breakers: Vec<Breaker>,
+    draws: u64,
+}
+
+/// Per-query bookkeeping.
+struct QueryCtx {
+    budget: Vec<u64>,
+    counters: Vec<SourceReport>,
+    skipped: BTreeSet<usize>,
+}
+
+enum ProbeOutcome {
+    Success(Vec<Triple>),
+    /// Retries exhausted or a non-retryable error: counts against the
+    /// breaker.
+    Failed,
+    /// No probe reached the source (open breaker, spent budget): the
+    /// source may be fine, so the breaker is not charged.
+    Skipped,
+}
+
+/// A federation of query sources connected by `owl:sameAs` links.
 ///
-/// All member stores must share one [`Interner`] (the workspace-wide
+/// All member sources must share one [`Interner`] (the workspace-wide
 /// convention), so ids are comparable across sources.
 pub struct FederatedEngine<'a> {
-    sources: Vec<(String, &'a Store)>,
+    sources: Vec<Box<dyn QuerySource + 'a>>,
     /// entity → (counterpart, the link that asserts it), both directions.
     same_as: HashMap<IriId, Vec<(IriId, Link)>>,
+    cfg: FederationConfig,
+    state: Mutex<FedState>,
 }
 
 impl<'a> FederatedEngine<'a> {
-    /// Creates a federation over named sources.
+    /// Creates a federation over named in-memory stores with default
+    /// resilience settings — the compatibility constructor; flawless
+    /// stores never trip any of the failure machinery.
     ///
     /// # Panics
     ///
     /// Panics if the sources do not share an interner, or no source is
     /// given.
     pub fn new(sources: Vec<(String, &'a Store)>) -> Self {
+        Self::with_config(sources, FederationConfig::default())
+    }
+
+    /// Creates a federation over named in-memory stores with explicit
+    /// resilience settings.
+    ///
+    /// # Panics
+    ///
+    /// See [`FederatedEngine::new`].
+    pub fn with_config(sources: Vec<(String, &'a Store)>, cfg: FederationConfig) -> Self {
+        let boxed = sources
+            .into_iter()
+            .map(|(name, store)| {
+                Box::new(InMemorySource::new(name, store)) as Box<dyn QuerySource + 'a>
+            })
+            .collect();
+        Self::from_sources(boxed, cfg)
+    }
+
+    /// Creates a federation over arbitrary [`QuerySource`]s (fault-injected
+    /// wrappers, future HTTP endpoints, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sources do not share an interner, or no source is
+    /// given.
+    pub fn from_sources(sources: Vec<Box<dyn QuerySource + 'a>>, cfg: FederationConfig) -> Self {
         assert!(!sources.is_empty(), "federation needs at least one source");
-        let first = sources[0].1.interner();
-        for (name, s) in &sources {
+        let first = sources[0].interner().clone();
+        for s in &sources {
             assert!(
-                std::sync::Arc::ptr_eq(first, s.interner()),
-                "source {name} does not share the federation interner"
+                Arc::ptr_eq(&first, s.interner()),
+                "source {} does not share the federation interner",
+                s.name()
             );
         }
+        let breakers = vec![Breaker::Closed { failures: 0 }; sources.len()];
         Self {
             sources,
             same_as: HashMap::new(),
+            cfg,
+            state: Mutex::new(FedState {
+                clock_ms: 0,
+                breakers,
+                draws: 0,
+            }),
         }
     }
 
     /// The shared interner.
     pub fn interner(&self) -> &Interner {
-        self.sources[0].1.interner()
+        self.sources[0].interner()
+    }
+
+    /// The active resilience configuration.
+    pub fn config(&self) -> &FederationConfig {
+        &self.cfg
     }
 
     /// Source names, in registration order.
     pub fn source_names(&self) -> Vec<&str> {
-        self.sources.iter().map(|(n, _)| n.as_str()).collect()
+        self.sources.iter().map(|s| s.name()).collect()
+    }
+
+    /// Current breaker state per source, in registration order.
+    pub fn breaker_states(&self) -> Vec<BreakerKind> {
+        let st = self.state.lock().expect("federation state");
+        st.breakers.iter().map(Breaker::kind).collect()
+    }
+
+    /// The engine's virtual clock: total milliseconds charged by probes
+    /// and backoff since construction.
+    pub fn virtual_clock_ms(&self) -> u64 {
+        self.state.lock().expect("federation state").clock_ms
     }
 
     /// Installs (or extends) the `owl:sameAs` link set, both directions.
@@ -113,8 +410,49 @@ impl<'a> FederatedEngine<'a> {
         Ok(self.execute(&parse(text)?))
     }
 
-    /// Executes a parsed query across all sources.
+    /// Parses and executes a query, returning the full [`QueryReport`].
+    pub fn execute_str_report(&self, text: &str) -> Result<QueryReport, ParseError> {
+        Ok(self.execute_report(&parse(text)?))
+    }
+
+    /// Executes a parsed query across all sources, discarding the
+    /// resilience report.
     pub fn execute(&self, query: &Query) -> Vec<Answer> {
+        self.execute_report(query).answers
+    }
+
+    /// Executes a parsed query across all sources under the failure
+    /// model: unreachable sources are skipped (not fatal) and accounted
+    /// in the report.
+    pub fn execute_report(&self, query: &Query) -> QueryReport {
+        let mut ctx = QueryCtx {
+            budget: vec![self.cfg.source_budget_ms; self.sources.len()],
+            counters: self
+                .sources
+                .iter()
+                .map(|s| SourceReport {
+                    name: s.name().to_string(),
+                    ..SourceReport::default()
+                })
+                .collect(),
+            skipped: BTreeSet::new(),
+        };
+        let answers = self.run_query(query, &mut ctx);
+        let breakers = self.breaker_states();
+        let mut sources = ctx.counters;
+        for (idx, rep) in sources.iter_mut().enumerate() {
+            rep.breaker = Some(breakers[idx]);
+            rep.skipped = ctx.skipped.contains(&idx);
+        }
+        let degraded = !ctx.skipped.is_empty();
+        QueryReport {
+            answers,
+            sources,
+            degraded,
+        }
+    }
+
+    fn run_query(&self, query: &Query, ctx: &mut QueryCtx) -> Vec<Answer> {
         let vars = VarTable::from_query(query);
         let interner = self.interner();
         #[allow(unused_mut)]
@@ -126,13 +464,13 @@ impl<'a> FederatedEngine<'a> {
 
         while !remaining.is_empty() && !rows.is_empty() {
             let pattern = pick_next(&rows, &mut remaining, &vars);
-            rows = self.extend(rows, pattern, &vars);
+            rows = self.extend(rows, pattern, &vars, ctx);
         }
 
         // UNION blocks: each row extends through either branch.
         for (a, b) in &query.unions {
-            let mut next = self.extend_group(rows.clone(), a, &vars);
-            next.extend(self.extend_group(rows, b, &vars));
+            let mut next = self.extend_group(rows.clone(), a, &vars, ctx);
+            next.extend(self.extend_group(rows, b, &vars, ctx));
             next.sort_by(|x, y| {
                 format!("{:?}", (&x.bindings, &x.links))
                     .cmp(&format!("{:?}", (&y.bindings, &y.links)))
@@ -146,7 +484,7 @@ impl<'a> FederatedEngine<'a> {
             rows = rows
                 .into_iter()
                 .flat_map(|r| {
-                    let exts = self.extend_group(vec![r.clone()], g, &vars);
+                    let exts = self.extend_group(vec![r.clone()], g, &vars, ctx);
                     if exts.is_empty() {
                         vec![r]
                     } else {
@@ -217,11 +555,17 @@ impl<'a> FederatedEngine<'a> {
     }
 
     /// Extends rows through a nested group's patterns and filters.
-    fn extend_group(&self, mut rows: Vec<FedRow>, group: &Group, vars: &VarTable) -> Vec<FedRow> {
+    fn extend_group(
+        &self,
+        mut rows: Vec<FedRow>,
+        group: &Group,
+        vars: &VarTable,
+        ctx: &mut QueryCtx,
+    ) -> Vec<FedRow> {
         let mut remaining: Vec<&TriplePattern> = group.patterns.iter().collect();
         while !remaining.is_empty() && !rows.is_empty() {
             let pattern = pick_next(&rows, &mut remaining, vars);
-            rows = self.extend(rows, pattern, vars);
+            rows = self.extend(rows, pattern, vars, ctx);
         }
         let interner = self.interner();
         rows.retain(|r| {
@@ -243,7 +587,136 @@ impl<'a> FederatedEngine<'a> {
         out
     }
 
-    fn extend(&self, rows: Vec<FedRow>, pattern: &TriplePattern, vars: &VarTable) -> Vec<FedRow> {
+    /// Probes one source with the full resilience pipeline: breaker gate,
+    /// budgeted attempts, bounded retries with jittered backoff, breaker
+    /// accounting. A lost probe yields no triples (graceful degradation)
+    /// and marks the source skipped for the report.
+    fn probe_source(
+        &self,
+        idx: usize,
+        subject: Option<IriId>,
+        predicate: Option<IriId>,
+        object: Option<Term>,
+        ctx: &mut QueryCtx,
+    ) -> Vec<Triple> {
+        let source = &self.sources[idx];
+        let cfg = &self.cfg;
+        let mut st = self.state.lock().expect("federation state");
+
+        // Breaker gate.
+        match st.breakers[idx] {
+            Breaker::Open { until_ms } if st.clock_ms < until_ms => {
+                ctx.counters[idx].breaker_skipped += 1;
+                ctx.skipped.insert(idx);
+                return Vec::new();
+            }
+            Breaker::Open { .. } => {
+                st.breakers[idx] = Breaker::HalfOpen { successes: 0 };
+            }
+            _ => {}
+        }
+
+        let mut attempt: u32 = 0;
+        let outcome = loop {
+            if ctx.budget[idx] == 0 {
+                ctx.counters[idx].budget_exhausted += 1;
+                break ProbeOutcome::Skipped;
+            }
+            let deadline = ctx.budget[idx].min(cfg.attempt_timeout_ms);
+            ctx.counters[idx].probes += 1;
+            if attempt > 0 {
+                ctx.counters[idx].retries += 1;
+            }
+            let probe = source.probe(subject, predicate, object, deadline);
+            ctx.budget[idx] = ctx.budget[idx].saturating_sub(probe.elapsed_ms);
+            st.clock_ms = st.clock_ms.saturating_add(probe.elapsed_ms);
+            match probe.result {
+                Ok(triples) => break ProbeOutcome::Success(triples),
+                Err(error) => {
+                    match &error {
+                        SourceError::Timeout => ctx.counters[idx].timeouts += 1,
+                        SourceError::Transient(_) => ctx.counters[idx].transient_errors += 1,
+                        SourceError::Truncated { .. } => ctx.counters[idx].truncations += 1,
+                        SourceError::Unavailable(_) => ctx.counters[idx].outages += 1,
+                    }
+                    if !error.is_retryable() || attempt >= cfg.max_retries {
+                        break ProbeOutcome::Failed;
+                    }
+                    // Exponential backoff with deterministic jitter,
+                    // charged against budget and clock like real waiting.
+                    let base = cfg
+                        .backoff_base_ms
+                        .saturating_mul(1u64 << attempt.min(16))
+                        .min(cfg.backoff_cap_ms);
+                    st.draws += 1;
+                    let u = unit(stable_mix(cfg.jitter_seed ^ st.draws, idx as u64));
+                    let factor = 1.0 + cfg.backoff_jitter * (u - 0.5);
+                    let backoff = (base as f64 * factor).round().max(0.0) as u64;
+                    ctx.budget[idx] = ctx.budget[idx].saturating_sub(backoff.max(1));
+                    st.clock_ms = st.clock_ms.saturating_add(backoff);
+                    attempt += 1;
+                }
+            }
+        };
+
+        match outcome {
+            ProbeOutcome::Success(triples) => {
+                st.breakers[idx] = match st.breakers[idx] {
+                    Breaker::HalfOpen { successes } => {
+                        if successes + 1 >= cfg.breaker_halfopen_successes {
+                            Breaker::Closed { failures: 0 }
+                        } else {
+                            Breaker::HalfOpen {
+                                successes: successes + 1,
+                            }
+                        }
+                    }
+                    // A success resets the consecutive-failure count.
+                    _ => Breaker::Closed { failures: 0 },
+                };
+                triples
+            }
+            ProbeOutcome::Failed => {
+                ctx.counters[idx].failed_probes += 1;
+                st.breakers[idx] = match st.breakers[idx] {
+                    Breaker::Closed { failures } => {
+                        if failures + 1 >= cfg.breaker_threshold {
+                            ctx.counters[idx].breaker_opened += 1;
+                            Breaker::Open {
+                                until_ms: st.clock_ms.saturating_add(cfg.breaker_cooldown_ms),
+                            }
+                        } else {
+                            Breaker::Closed {
+                                failures: failures + 1,
+                            }
+                        }
+                    }
+                    // A half-open trial failed: straight back to open.
+                    Breaker::HalfOpen { .. } => {
+                        ctx.counters[idx].breaker_opened += 1;
+                        Breaker::Open {
+                            until_ms: st.clock_ms.saturating_add(cfg.breaker_cooldown_ms),
+                        }
+                    }
+                    open @ Breaker::Open { .. } => open,
+                };
+                ctx.skipped.insert(idx);
+                Vec::new()
+            }
+            ProbeOutcome::Skipped => {
+                ctx.skipped.insert(idx);
+                Vec::new()
+            }
+        }
+    }
+
+    fn extend(
+        &self,
+        rows: Vec<FedRow>,
+        pattern: &TriplePattern,
+        vars: &VarTable,
+        ctx: &mut QueryCtx,
+    ) -> Vec<FedRow> {
         let interner = self.interner();
         let mut out = Vec::new();
         for row in rows {
@@ -298,8 +771,8 @@ impl<'a> FederatedEngine<'a> {
 
             for &(s_alt, s_link) in &subject_alts {
                 for (o_alt, o_link) in &object_alts {
-                    for (_, store) in &self.sources {
-                        for triple in store.match_pattern(s_alt, p_iri, *o_alt) {
+                    for idx in 0..self.sources.len() {
+                        for triple in self.probe_source(idx, s_alt, p_iri, *o_alt, ctx) {
                             let mut new_row = row.clone();
                             let mut ok = true;
                             if let PatternTerm::Var(v) = &pattern.subject {
@@ -397,6 +870,7 @@ fn bind(row: &mut [Option<Term>], idx: usize, value: Term) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultConfig, FaultySource};
     use alex_rdf::Literal;
 
     /// The paper's motivating example: NYTimes articles about entities that
@@ -427,6 +901,32 @@ mod tests {
         (dbpedia, nytimes, Link::new(lebron_db, lebron_nyt))
     }
 
+    const JOIN_QUERY: &str = "SELECT ?article WHERE { \
+        ?player <http://dbpedia/award> <http://dbpedia/NBA_MVP_2013> . \
+        ?article <http://nytimes/about> ?player }";
+
+    fn faulty_fed<'a>(
+        dbpedia: &'a Store,
+        nytimes: &'a Store,
+        db_faults: FaultConfig,
+        nyt_faults: FaultConfig,
+        cfg: FederationConfig,
+    ) -> FederatedEngine<'a> {
+        FederatedEngine::from_sources(
+            vec![
+                Box::new(FaultySource::new(
+                    InMemorySource::new("dbpedia", dbpedia),
+                    db_faults,
+                )),
+                Box::new(FaultySource::new(
+                    InMemorySource::new("nytimes", nytimes),
+                    nyt_faults,
+                )),
+            ],
+            cfg,
+        )
+    }
+
     #[test]
     fn cross_source_join_uses_links_and_reports_provenance() {
         let (dbpedia, nytimes, link) = federation_fixture();
@@ -437,13 +937,7 @@ mod tests {
         fed.add_links([link]);
 
         // "Find all NYTimes articles about the NBA MVP of 2013."
-        let answers = fed
-            .execute_str(
-                "SELECT ?article WHERE { \
-                   ?player <http://dbpedia/award> <http://dbpedia/NBA_MVP_2013> . \
-                   ?article <http://nytimes/about> ?player }",
-            )
-            .unwrap();
+        let answers = fed.execute_str(JOIN_QUERY).unwrap();
         assert_eq!(answers.len(), 3, "three articles about LeBron: {answers:?}");
         for a in &answers {
             assert_eq!(
@@ -461,13 +955,7 @@ mod tests {
             ("dbpedia".into(), &dbpedia),
             ("nytimes".into(), &nytimes),
         ]);
-        let answers = fed
-            .execute_str(
-                "SELECT ?article WHERE { \
-                   ?player <http://dbpedia/award> <http://dbpedia/NBA_MVP_2013> . \
-                   ?article <http://nytimes/about> ?player }",
-            )
-            .unwrap();
+        let answers = fed.execute_str(JOIN_QUERY).unwrap();
         assert!(answers.is_empty());
     }
 
@@ -517,13 +1005,7 @@ mod tests {
             ("nytimes".into(), &nytimes),
         ]);
         fed.add_links([wrong]);
-        let answers = fed
-            .execute_str(
-                "SELECT ?article WHERE { \
-                   ?player <http://dbpedia/award> <http://dbpedia/NBA_MVP_2013> . \
-                   ?article <http://nytimes/about> ?player }",
-            )
-            .unwrap();
+        let answers = fed.execute_str(JOIN_QUERY).unwrap();
         assert_eq!(answers.len(), 1);
         assert_eq!(answers[0].links, vec![wrong]);
     }
@@ -582,5 +1064,169 @@ mod tests {
             .execute_str("SELECT DISTINCT ?player WHERE { ?player <http://dbpedia/award> ?a }")
             .unwrap();
         assert_eq!(answers.len(), 1);
+    }
+
+    // ---- resilience ----
+
+    #[test]
+    fn flawless_sources_report_clean_execution() {
+        let (dbpedia, nytimes, link) = federation_fixture();
+        let mut fed = FederatedEngine::new(vec![
+            ("dbpedia".into(), &dbpedia),
+            ("nytimes".into(), &nytimes),
+        ]);
+        fed.add_links([link]);
+        let report = fed.execute_str_report(JOIN_QUERY).unwrap();
+        assert_eq!(report.answers.len(), 3);
+        assert!(!report.degraded);
+        assert!(report.skipped_sources().is_empty());
+        assert_eq!(report.total_retries(), 0);
+        assert_eq!(report.total_timeouts(), 0);
+        assert_eq!(report.total_breaker_opens(), 0);
+        assert!(report.sources.iter().all(|s| s.probes > 0));
+        assert_eq!(fed.virtual_clock_ms(), 0, "in-memory probes are free");
+        assert_eq!(
+            fed.breaker_states(),
+            vec![BreakerKind::Closed, BreakerKind::Closed]
+        );
+    }
+
+    #[test]
+    fn zero_fault_rate_matches_the_plain_engine_exactly() {
+        let (dbpedia, nytimes, link) = federation_fixture();
+        let mut plain = FederatedEngine::new(vec![
+            ("dbpedia".into(), &dbpedia),
+            ("nytimes".into(), &nytimes),
+        ]);
+        plain.add_links([link]);
+        let mut wrapped = faulty_fed(
+            &dbpedia,
+            &nytimes,
+            FaultConfig::default(),
+            FaultConfig::default(),
+            FederationConfig::default(),
+        );
+        wrapped.add_links([link]);
+        for q in [
+            JOIN_QUERY,
+            "SELECT ?n WHERE { ?p <http://dbpedia/name> ?n }",
+            "SELECT DISTINCT ?player WHERE { ?player <http://dbpedia/award> ?a }",
+        ] {
+            assert_eq!(
+                plain.execute_str(q).unwrap(),
+                wrapped.execute_str(q).unwrap(),
+                "fault-free wrapped engine must match the plain engine on {q}"
+            );
+        }
+        let report = wrapped.execute_str_report(JOIN_QUERY).unwrap();
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_away() {
+        let (dbpedia, nytimes, link) = federation_fixture();
+        let mut fed = faulty_fed(
+            &dbpedia,
+            &nytimes,
+            FaultConfig::transient(0.3, 0xA1),
+            FaultConfig::transient(0.3, 0xA2),
+            FederationConfig {
+                max_retries: 6,
+                ..FederationConfig::default()
+            },
+        );
+        fed.add_links([link]);
+        let report = fed.execute_str_report(JOIN_QUERY).unwrap();
+        assert_eq!(
+            report.answers.len(),
+            3,
+            "retries recover every answer: {report:?}"
+        );
+        assert!(report.total_retries() > 0, "the faults were actually hit");
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn dead_source_degrades_gracefully_and_trips_the_breaker() {
+        let (dbpedia, nytimes, link) = federation_fixture();
+        let dead = FaultConfig {
+            outage_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut fed = faulty_fed(
+            &dbpedia,
+            &nytimes,
+            FaultConfig::default(),
+            dead,
+            FederationConfig {
+                breaker_cooldown_ms: 1_000_000,
+                ..FederationConfig::default()
+            },
+        );
+        fed.add_links([link]);
+        let report = fed.execute_str_report(JOIN_QUERY).unwrap();
+        // The join needs NYTimes triples, so no full answers survive…
+        assert!(report.answers.is_empty());
+        // …but the degradation is visible, not silent.
+        assert!(report.degraded);
+        assert_eq!(report.skipped_sources(), vec!["nytimes"]);
+        assert!(report.sources[1].outages > 0);
+
+        // DBpedia-only queries still work while NYTimes is down.
+        let report = fed
+            .execute_str_report("SELECT ?n WHERE { ?p <http://dbpedia/name> ?n }")
+            .unwrap();
+        assert_eq!(report.answers.len(), 1);
+        assert!(report.degraded, "nytimes is probed and still down");
+
+        // Enough consecutive failures have tripped the breaker; further
+        // probes are skipped without even reaching the source.
+        assert_eq!(fed.breaker_states()[1], BreakerKind::Open);
+        let report = fed.execute_str_report(JOIN_QUERY).unwrap();
+        assert!(report.sources[1].breaker_skipped > 0);
+        assert_eq!(report.sources[1].probes, 0, "the source was not probed");
+        assert_eq!(report.sources[1].outages, 0);
+    }
+
+    #[test]
+    fn timeouts_consume_budget_until_the_source_is_skipped() {
+        let (dbpedia, nytimes, link) = federation_fixture();
+        let slow = FaultConfig {
+            slow_rate: 1.0,
+            slow_latency_ms: 500,
+            ..FaultConfig::default()
+        };
+        let mut fed = faulty_fed(
+            &dbpedia,
+            &nytimes,
+            FaultConfig::default(),
+            slow,
+            FederationConfig {
+                source_budget_ms: 600,
+                attempt_timeout_ms: 250,
+                ..FederationConfig::default()
+            },
+        );
+        fed.add_links([link]);
+        let report = fed.execute_str_report(JOIN_QUERY).unwrap();
+        assert!(report.degraded);
+        assert_eq!(report.skipped_sources(), vec!["nytimes"]);
+        assert!(report.sources[1].timeouts > 0);
+        assert!(report.total_timeouts() > 0);
+    }
+
+    #[test]
+    fn federation_config_validates() {
+        assert!(FederationConfig::default().validate().is_ok());
+        let bad = FederationConfig {
+            backoff_jitter: 1.5,
+            ..FederationConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = FederationConfig {
+            source_budget_ms: 0,
+            ..FederationConfig::default()
+        };
+        assert!(bad.validate().is_err());
     }
 }

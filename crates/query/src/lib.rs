@@ -14,7 +14,12 @@
 //!   over the store's indexes;
 //! * [`FederatedEngine`] — multi-source execution with `owl:sameAs`
 //!   entity translation and per-answer **link provenance**, the hook that
-//!   turns answer feedback into the link feedback ALEX consumes.
+//!   turns answer feedback into the link feedback ALEX consumes;
+//! * [`QuerySource`] / [`FaultySource`] — a failure model for federation
+//!   members: deterministic seed-driven fault injection, per-source
+//!   deadline budgets, bounded retries with jittered backoff, circuit
+//!   breakers, and graceful degradation with per-source accounting
+//!   ([`FederatedEngine::execute_report`]).
 //!
 //! ```
 //! use alex_query::FederatedEngine;
@@ -50,8 +55,10 @@
 
 pub mod ast;
 mod exec;
+pub mod fault;
 mod federated;
 mod parser;
+pub mod source;
 
 pub use ast::{
     CompareOp, FilterExpr, FilterOperand, LiteralSpec, OrderKey, PatternTerm, Query, TriplePattern,
@@ -61,5 +68,9 @@ pub use exec::{
     compare_terms, eval_filter, resolve_literal, term_eq, total_term_cmp, CompiledQuery, Row,
     VarTable,
 };
-pub use federated::{Answer, FederatedEngine};
+pub use fault::{FaultConfig, FaultySource};
+pub use federated::{
+    Answer, BreakerKind, FederatedEngine, FederationConfig, QueryReport, SourceReport,
+};
 pub use parser::{parse, ParseError};
+pub use source::{InMemorySource, Probe, QuerySource, SourceError};

@@ -538,6 +538,46 @@ mod tests {
     }
 
     #[test]
+    fn error_positions_are_correct_on_crlf_input() {
+        let mut store = fresh();
+        // CRLF line endings must not shift the line count or leave a
+        // stray '\r' inflating the column of errors on later lines.
+        let err = read_str(
+            "<http://a> <http://p> <http://b> .\r\n<http://a> <http://p> BROKEN .\r\n",
+            &mut store,
+        )
+        .unwrap_err();
+        match &err {
+            RdfError::Parse {
+                line,
+                column,
+                token,
+                ..
+            } => {
+                assert_eq!(*line, 2);
+                assert_eq!(*column, 23, "same column as the LF-only case");
+                assert_eq!(token, "BROKEN");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_columns_count_chars_not_bytes() {
+        let mut store = fresh();
+        // 'é' (2 bytes) and '火' (3 bytes) precede the error: 24 chars but
+        // 27 bytes come before BROKEN, so a byte-based column would say 28.
+        let err = read_str("<http://é/火> <http://p> BROKEN .\n", &mut store).unwrap_err();
+        match &err {
+            RdfError::Parse { column, token, .. } => {
+                assert_eq!(*column, 25, "column counts characters, not bytes");
+                assert_eq!(token, "BROKEN");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
     fn error_at_end_of_line_has_empty_token() {
         let mut store = fresh();
         let err = read_str("<http://a> <http://p> <http://b>", &mut store).unwrap_err();

@@ -765,6 +765,46 @@ mod tests {
     }
 
     #[test]
+    fn error_positions_are_correct_on_crlf_input() {
+        let mut store = Store::new(Interner::new_shared());
+        // Same document as errors_carry_column_and_token, but CRLF-ended:
+        // the '\r' before the line break must not shift line or column.
+        let err = read_str(
+            "<http://a> <http://p> <http://b> .\r\n<http://a> <http://q> ( 1 2 ) .\r\n",
+            &mut store,
+        )
+        .unwrap_err();
+        match &err {
+            RdfError::Parse {
+                line,
+                column,
+                token,
+                ..
+            } => {
+                assert_eq!(*line, 2);
+                assert_eq!(*column, 23, "same column as the LF-only case");
+                assert_eq!(token, "(");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_columns_count_chars_not_bytes() {
+        let mut store = Store::new(Interner::new_shared());
+        // 24 chars but 27 bytes precede the '(' ('é' is 2 bytes, '火' 3):
+        // a byte-offset column would report 28.
+        let err = read_str("<http://é/火> <http://p> ( 1 ) .", &mut store).unwrap_err();
+        match &err {
+            RdfError::Parse { column, token, .. } => {
+                assert_eq!(*column, 25, "column counts characters, not bytes");
+                assert_eq!(token, "(");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn writer_round_trips() {
         let src = parse(
             "@prefix ex: <http://ex/> .\n\

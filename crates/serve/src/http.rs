@@ -64,6 +64,58 @@ impl Request {
         }
         serde_json::parse_value_str(text).map_err(|e| format!("invalid JSON body: {e}"))
     }
+
+    /// The query string split into `key=value` pairs, percent-decoded
+    /// (`+` decodes to space, as browsers send form data). Pairs without
+    /// `=` get an empty value; escapes were validated at parse time, so
+    /// decoding here cannot fail.
+    pub fn query_params(&self) -> Vec<(String, String)> {
+        let Some(query) = &self.query else {
+            return Vec::new();
+        };
+        query
+            .split('&')
+            .filter(|p| !p.is_empty())
+            .map(|pair| {
+                let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+                (
+                    percent_decode(k, true).unwrap_or_else(|_| k.to_string()),
+                    percent_decode(v, true).unwrap_or_else(|_| v.to_string()),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Decodes `%XX` escapes (and, for query components, `+` as space).
+/// Rejects truncated or non-hex escapes and sequences that do not decode
+/// to UTF-8.
+pub fn percent_decode(raw: &str, plus_as_space: bool) -> Result<String, String> {
+    let mut out = Vec::with_capacity(raw.len());
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| format!("invalid percent escape in {raw:?}"))?;
+                out.push(hex);
+                i += 3;
+            }
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("percent escapes in {raw:?} are not UTF-8"))
 }
 
 /// Why reading a request failed.
@@ -115,11 +167,24 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
     }
 
     // Body, if Content-Length says so. Chunked encoding is not supported.
+    // Duplicate Content-Length headers are rejected outright (even when
+    // the copies agree): ambiguous framing is how request smuggling
+    // starts, and no legitimate client sends two.
     let mut body = Vec::new();
-    let content_length = headers
+    let lengths: Vec<&str> = headers
         .iter()
-        .find(|(n, _)| n == "content-length")
-        .map(|(_, v)| v.parse::<usize>())
+        .filter(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.as_str())
+        .collect();
+    if lengths.len() > 1 {
+        return Err(HttpError::Malformed(format!(
+            "{} Content-Length headers in one request",
+            lengths.len()
+        )));
+    }
+    let content_length = lengths
+        .first()
+        .map(|v| v.parse::<usize>())
         .transpose()
         .map_err(|_| HttpError::Malformed("Content-Length is not a number".into()))?;
     if headers
@@ -150,10 +215,22 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
         }
     }
 
-    let (path, query) = match path_q.split_once('?') {
+    // Percent-decode the path so escaped segments (`%20` and friends)
+    // route like their literal spelling. The query string stays raw —
+    // decoding it wholesale would corrupt `&`/`=` inside values — but its
+    // escapes are validated here so `query_params()` cannot fail later.
+    let (raw_path, query) = match path_q.split_once('?') {
         Some((p, q)) => (p.to_string(), Some(q.to_string())),
         None => (path_q, None),
     };
+    let path = percent_decode(&raw_path, false).map_err(HttpError::Malformed)?;
+    if let Some(q) = &query {
+        for part in q.split('&') {
+            let (k, v) = part.split_once('=').unwrap_or((part, ""));
+            percent_decode(k, true).map_err(HttpError::Malformed)?;
+            percent_decode(v, true).map_err(HttpError::Malformed)?;
+        }
+    }
     Ok(Request {
         method,
         path,
@@ -367,6 +444,72 @@ mod tests {
         // Truncated body.
         assert!(matches!(
             parse("POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        // Conflicting copies: classic request-smuggling framing.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 11\r\n\r\n{\"a\": true}"),
+            Err(HttpError::Malformed(m)) if m.contains("Content-Length")
+        ));
+        // Even identical copies are refused — framing must be unambiguous.
+        assert!(matches!(
+            parse(
+                "POST / HTTP/1.1\r\nContent-Length: 11\r\nContent-Length: 11\r\n\r\n{\"a\": true}"
+            ),
+            Err(HttpError::Malformed(_))
+        ));
+        // A single header still works as before.
+        let req = parse("POST / HTTP/1.1\r\nContent-Length: 11\r\n\r\n{\"a\": true}").unwrap();
+        assert_eq!(req.body, b"{\"a\": true}");
+    }
+
+    #[test]
+    fn paths_are_percent_decoded_before_routing() {
+        let req = parse("GET /sessions/my%20session/links HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/sessions/my session/links");
+        // UTF-8 escapes decode to the character, not raw bytes.
+        let req = parse("GET /caf%C3%A9 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/café");
+        // `+` is NOT a space in the path component.
+        let req = parse("GET /a+b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/a+b");
+        // Truncated and non-hex escapes are malformed, not passed through.
+        assert!(matches!(
+            parse("GET /bad%2 HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /bad%zz HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        // Escapes that decode to invalid UTF-8 are rejected too.
+        assert!(matches!(
+            parse("GET /bad%ff%fe HTTP/1.1\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn query_strings_are_percent_decoded_per_parameter() {
+        let req = parse("GET /links?name=a%26b&page=1+2&flag HTTP/1.1\r\n\r\n").unwrap();
+        // The raw query survives untouched...
+        assert_eq!(req.query.as_deref(), Some("name=a%26b&page=1+2&flag"));
+        // ...and decoding happens per key/value, so `%26` does not split.
+        assert_eq!(
+            req.query_params(),
+            vec![
+                ("name".to_string(), "a&b".to_string()),
+                ("page".to_string(), "1 2".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+        // Bad escapes in the query are caught at parse time.
+        assert!(matches!(
+            parse("GET /links?x=%G1 HTTP/1.1\r\n\r\n"),
             Err(HttpError::Malformed(_))
         ));
     }

@@ -101,6 +101,46 @@ proptest! {
     }
 
     #[test]
+    fn numeric_similarity_total_over_all_floats(a in any::<f64>(), b in any::<f64>()) {
+        // `any::<f64>()` includes NaN, ±infinity, subnormals, and ±0 —
+        // the metric must stay a total function into [0, 1].
+        let ab = numeric::numeric_similarity(a, b);
+        prop_assert!((0.0..=1.0).contains(&ab), "{a} vs {b} -> {ab}");
+        let ba = numeric::numeric_similarity(b, a);
+        prop_assert!((ab - ba).abs() < 1e-12, "asymmetric: {ab} vs {ba}");
+    }
+
+    #[test]
+    fn half_life_similarity_total_over_all_floats(
+        a in any::<f64>(),
+        b in any::<f64>(),
+        half in any::<f64>(),
+    ) {
+        let ab = numeric::half_life_similarity(a, b, half);
+        prop_assert!((0.0..=1.0).contains(&ab), "{a} vs {b} (hl {half}) -> {ab}");
+        let ba = numeric::half_life_similarity(b, a, half);
+        prop_assert!((ab - ba).abs() < 1e-12, "asymmetric: {ab} vs {ba}");
+    }
+
+    #[test]
+    fn date_similarity_total_over_extreme_dates_and_half_lives(
+        ya in -9999i32..=9999, yb in -9999i32..=9999,
+        month in 1u8..=12, day in 1u8..=28,
+        half in any::<f64>(),
+    ) {
+        let a = Date::new(ya, month, day).unwrap();
+        let b = Date::new(yb, month, day).unwrap();
+        let ab = numeric::date_similarity(a, b, half);
+        prop_assert!((0.0..=1.0).contains(&ab), "{a:?} vs {b:?} (hl {half}) -> {ab}");
+        let ba = numeric::date_similarity(b, a, half);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        // Equal dates score 1.0 for any usable half-life.
+        if half.is_finite() && half > 0.0 {
+            prop_assert_eq!(numeric::date_similarity(a, a, half), 1.0);
+        }
+    }
+
+    #[test]
     fn value_similarity_bounded_symmetric_reflexive(a in arb_term(), b in arb_term()) {
         let i = Interner::new_shared();
         let cfg = SimConfig::default();

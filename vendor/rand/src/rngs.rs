@@ -9,6 +9,19 @@ pub struct StdRng {
 }
 
 impl StdRng {
+    /// The raw xoshiro256++ state, for persisting an RNG mid-stream
+    /// (session snapshots must resume the exact random sequence).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds an RNG from a persisted [`StdRng::state`]. An all-zero
+    /// state is remapped exactly like seeding, so a tampered or corrupt
+    /// snapshot cannot produce the degenerate generator.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self::from_words(s)
+    }
+
     fn from_words(s: [u64; 4]) -> Self {
         // xoshiro256++ must not start from the all-zero state.
         if s == [0, 0, 0, 0] {

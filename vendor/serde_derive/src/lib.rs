@@ -3,9 +3,9 @@
 //! Parses the token stream by hand (no `syn`/`quote` — the build
 //! environment has no network access) and supports exactly what this
 //! workspace derives on: non-generic structs with named fields, the
-//! container attribute `#[serde(default)]`, and the field attribute
-//! `#[serde(skip)]`. Anything else panics with a clear message at
-//! compile time.
+//! `#[serde(default)]` attribute on the container or on individual
+//! fields, and the field attribute `#[serde(skip)]`. Anything else
+//! panics with a clear message at compile time.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::iter::Peekable;
@@ -13,6 +13,7 @@ use std::iter::Peekable;
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 struct StructDef {
@@ -21,17 +22,24 @@ struct StructDef {
     fields: Vec<Field>,
 }
 
-/// Consumes leading `#[...]` attributes; returns whether a `#[serde(...)]`
-/// attribute among them contains the ident `flag`.
-fn eat_attrs<I: Iterator<Item = TokenTree>>(iter: &mut Peekable<I>, flag: &str) -> bool {
-    let mut found = false;
+#[derive(Default)]
+struct SerdeFlags {
+    skip: bool,
+    default: bool,
+}
+
+/// Consumes leading `#[...]` attributes; returns which of the recognized
+/// `#[serde(...)]` flags appeared among them.
+fn eat_attrs<I: Iterator<Item = TokenTree>>(iter: &mut Peekable<I>) -> SerdeFlags {
+    let mut found = SerdeFlags::default();
     loop {
         match iter.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 iter.next();
                 match iter.next() {
                     Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                        found |= serde_attr_contains(&g.stream(), flag);
+                        found.skip |= serde_attr_contains(&g.stream(), "skip");
+                        found.default |= serde_attr_contains(&g.stream(), "default");
                     }
                     other => panic!("expected [...] after '#', got {other:?}"),
                 }
@@ -58,7 +66,7 @@ fn serde_attr_contains(attr: &TokenStream, flag: &str) -> bool {
 
 fn parse_struct(input: TokenStream) -> StructDef {
     let mut iter = input.into_iter().peekable();
-    let container_default = eat_attrs(&mut iter, "default");
+    let container_default = eat_attrs(&mut iter).default;
 
     // Skip visibility / modifiers until the `struct` keyword.
     loop {
@@ -85,7 +93,7 @@ fn parse_struct(input: TokenStream) -> StructDef {
     let mut fields = Vec::new();
     let mut it = body.stream().into_iter().peekable();
     loop {
-        let skip = eat_attrs(&mut it, "skip");
+        let flags = eat_attrs(&mut it);
         // Visibility: `pub` optionally followed by `(crate)` etc.
         if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
             it.next();
@@ -117,7 +125,11 @@ fn parse_struct(input: TokenStream) -> StructDef {
             }
             it.next();
         }
-        fields.push(Field { name: fname, skip });
+        fields.push(Field {
+            name: fname,
+            skip: flags.skip,
+            default: flags.default,
+        });
     }
 
     StructDef {
@@ -156,8 +168,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 /// Derives the stand-in `serde::Deserialize` (value-tree reading).
 ///
 /// With the container attribute `#[serde(default)]`, missing fields keep
-/// the struct's `Default` values; otherwise missing non-skip fields are an
-/// error. `#[serde(skip)]` fields always take their type's default.
+/// the struct's `Default` values; a field-level `#[serde(default)]`
+/// substitutes the field type's `Default` when its key is absent; other
+/// missing non-skip fields are an error. `#[serde(skip)]` fields always
+/// take their type's default.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let def = parse_struct(input);
@@ -184,6 +198,15 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             if f.skip {
                 inits.push_str(&format!(
                     "{n}: ::std::default::Default::default(),\n",
+                    n = f.name
+                ));
+            } else if f.default {
+                inits.push_str(&format!(
+                    "{n}: match v.get(\"{n}\") {{
+                        Some(val) => ::serde::Deserialize::from_value(val)
+                            .map_err(|e| e.context(\"field {n}\"))?,
+                        None => ::std::default::Default::default(),
+                    }},\n",
                     n = f.name
                 ));
             } else {
