@@ -152,7 +152,10 @@ pub fn query(args: &[String]) -> Result<(), String> {
     }
 
     let mut fed = if fault_rate > 0.0 {
-        eprintln!("injecting faults: mixed rate {fault_rate}, seed {fault_seed}");
+        alex_core::trace::diag(
+            "info",
+            &format!("injecting faults: mixed rate {fault_rate}, seed {fault_seed}"),
+        );
         let boxed: Vec<Box<dyn QuerySource>> = stores
             .iter()
             .map(|(n, s)| {
@@ -227,9 +230,12 @@ fn print_resilience_summary(report: &QueryReport) {
         );
     }
     if report.degraded {
-        eprintln!(
-            "WARNING: degraded answer set — skipped source(s): {}",
-            report.skipped_sources().join(", ")
+        alex_core::trace::diag(
+            "warn",
+            &format!(
+                "WARNING: degraded answer set — skipped source(s): {}",
+                report.skipped_sources().join(", ")
+            ),
         );
     }
 }
@@ -278,11 +284,14 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     while !SHUTDOWN_REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
-    eprintln!("shutting down: draining in-flight requests");
+    alex_core::trace::diag("info", "shutting down: draining in-flight requests");
     for outcome in server.shutdown() {
         match outcome {
-            Ok(path) => eprintln!("saved session snapshot {}", path.display()),
-            Err(e) => eprintln!("snapshot error: {e}"),
+            Ok(path) => alex_core::trace::diag(
+                "info",
+                &format!("saved session snapshot {}", path.display()),
+            ),
+            Err(e) => alex_core::trace::diag("error", &format!("snapshot error: {e}")),
         }
     }
     Ok(())

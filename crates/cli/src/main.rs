@@ -15,6 +15,7 @@
 
 mod commands;
 mod io;
+mod trace_cmd;
 
 use std::process::ExitCode;
 
@@ -31,8 +32,13 @@ USAGE:
                 [--session FILE] [--out FILE]
     alex serve  [--addr HOST:PORT] [--workers N] [--queue-depth N]
                 [--request-timeout SECS] [--state-dir DIR]
+    alex trace  --input events.jsonl
+    alex trace  --explain <link-substring|auto> [--scale S] [--seed N]
+                [--episodes N]
 
 FILES:    .nt (N-Triples) or .ttl (Turtle), by extension.
+TRACING:  every command honors ALEX_TRACE=off|ring|jsonl:<path>
+          (plus ALEX_TRACE_SAMPLE and ALEX_TRACE_RING).
 
 COMMANDS:
     stats    Print triple/entity/predicate counts for one dataset.
@@ -48,12 +54,22 @@ COMMANDS:
              and write the curated links. --session saves a resumable
              snapshot (and resumes from it if the file exists).
     serve    Run the interactive curation HTTP server (sessions, federated
-             queries with provenance, answer feedback, /metrics). Ctrl-C
-             drains in-flight requests and, with --state-dir, saves every
-             session as a restorable snapshot."
+             queries with provenance, answer feedback, /metrics, and —
+             when ALEX_TRACE is on — /debug/trace/{request_id} and
+             /debug/events). Ctrl-C drains in-flight requests and, with
+             --state-dir, saves every session as a restorable snapshot.
+    trace    Inspect flight-recorder output: pretty-print a JSONL event
+             log as a span tree (--input), or run a generated scenario
+             and replay the decision audit trail that produced one link
+             (--explain <link|auto>): the triggering feedback, the
+             ε-greedy decision with its Q-values, the explored feature,
+             and the candidate pair it surfaced."
 }
 
 fn main() -> ExitCode {
+    // Honor ALEX_TRACE before any command runs, so every code path's
+    // spans and events land in the configured sink.
+    alex_core::trace::configure_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!("{}", usage());
@@ -66,6 +82,7 @@ fn main() -> ExitCode {
         "query" => commands::query(rest),
         "curate" => commands::curate(rest),
         "serve" => commands::serve(rest),
+        "trace" => trace_cmd::run(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -141,6 +141,7 @@ impl AlexDriver {
         let executor = Executor::resolve(cfg.threads);
         let cache = SimCache::new(cfg.sim);
         let build_start = Instant::now();
+        let build_span = alex_trace::span("driver.space_build");
         let spaces: Vec<ExplorationSpace> = parts
             .iter()
             .map(|p| {
@@ -155,6 +156,7 @@ impl AlexDriver {
                 )
             })
             .collect();
+        drop(build_span);
         let build_stats = SpaceBuildStats {
             seconds: build_start.elapsed().as_secs_f64(),
             pairs: spaces.iter().map(|s| s.len()).sum(),
@@ -177,7 +179,9 @@ impl AlexDriver {
             .enumerate()
             .map(|(k, (space, links))| {
                 let seed = cfg.seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                PartitionEngine::new(space, links, cfg.clone(), seed)
+                let mut e = PartitionEngine::new(space, links, cfg.clone(), seed);
+                e.set_trace_identity(k, left.interner().clone());
+                e
             })
             .collect();
         for &l in blacklist {
@@ -313,12 +317,20 @@ impl AlexDriver {
     /// aggregated episode counters.
     pub fn step(&mut self, oracle: &dyn FeedbackOracle) -> PartitionEpisodeStats {
         let items = self.allot_items();
+        let episode_span = alex_trace::span("rl.episode");
+        let ctx = episode_span.ctx();
         let results: Vec<PartitionEpisodeStats> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .engines
                 .iter_mut()
                 .zip(&items)
-                .map(|(e, &count)| scope.spawn(move || e.run_episode(count, oracle)))
+                .map(|(e, &count)| {
+                    scope.spawn(move || {
+                        let _guard = alex_trace::attach(ctx);
+                        let _span = alex_trace::span("rl.partition");
+                        e.run_episode(count, oracle)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -386,6 +398,8 @@ impl AlexDriver {
                 break; // nothing left to give feedback on
             }
             let episode_start = Instant::now();
+            let episode_span = alex_trace::span("rl.episode");
+            let ctx = episode_span.ctx();
             let results: Vec<(PartitionEpisodeStats, f64)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .engines
@@ -393,6 +407,8 @@ impl AlexDriver {
                     .zip(&items)
                     .map(|(e, &count)| {
                         scope.spawn(move || {
+                            let _guard = alex_trace::attach(ctx);
+                            let _span = alex_trace::span("rl.partition");
                             let t = Instant::now();
                             let stats = e.run_episode(count, oracle);
                             (stats, t.elapsed().as_secs_f64() * 1000.0)
@@ -404,6 +420,7 @@ impl AlexDriver {
                     .map(|h| h.join().expect("partition panicked"))
                     .collect()
             });
+            drop(episode_span);
             let episode_ms = episode_start.elapsed().as_secs_f64() * 1000.0;
 
             let mut totals = PartitionEpisodeStats::default();
@@ -752,6 +769,69 @@ mod tests {
         driver.process_feedback(foreign, false);
         let stats = driver.end_episode();
         assert_eq!(stats.feedback_items, 1);
+    }
+
+    #[test]
+    fn tracing_records_audit_trail_without_changing_output() {
+        use alex_trace::{Payload, TraceMode, TraceSettings};
+        // Single partition + fixed seed: identical runs are bit-identical,
+        // so any divergence with tracing on would be tracing's fault.
+        let (left, right, truth, links) = world(15);
+        let cfg = AlexConfig {
+            partitions: 1,
+            episode_size: 60,
+            max_episodes: 5,
+            ..Default::default()
+        };
+        let run = |cfg: AlexConfig| {
+            let mut d = AlexDriver::new(&left, &right, &links[..4], cfg).unwrap();
+            let oracle = ExactOracle::new(truth.clone());
+            d.run(&oracle, &truth).final_links
+        };
+        let baseline = run(cfg.clone());
+
+        alex_trace::configure(&TraceSettings {
+            mode: TraceMode::Ring,
+            sample: 1.0,
+            ring_capacity: 1 << 16,
+        })
+        .unwrap();
+        let span = alex_trace::root_span("test.traced_run");
+        let trace_id = span.trace_id();
+        let traced = run(cfg);
+        drop(span);
+        let events = alex_trace::recorder().trace_events(trace_id);
+        alex_trace::configure(&TraceSettings::default()).unwrap();
+
+        assert_eq!(baseline, traced, "tracing must not change link output");
+        let has = |pred: &dyn Fn(&Payload) -> bool| events.iter().any(|e| pred(&e.payload));
+        assert!(has(&|p| matches!(p, Payload::Feedback { .. })));
+        assert!(has(&|p| matches!(p, Payload::LinkAdded { .. })));
+        assert!(has(&|p| matches!(p, Payload::EpisodeEnd { .. })));
+        // The decision audit trail: every choice carries ε, the explored
+        // flag, and a resolvable feature rendered from the interner.
+        let decision = events
+            .iter()
+            .find_map(|e| match &e.payload {
+                Payload::Decision {
+                    epsilon, chosen, ..
+                } => Some((*epsilon, chosen.clone())),
+                _ => None,
+            })
+            .expect("at least one decision event");
+        assert_eq!(decision.0, 0.1);
+        assert!(
+            decision.1.contains('\t') && decision.1.contains("l/"),
+            "feature rendered as IRI pair: {:?}",
+            decision.1
+        );
+        // Span taxonomy covers the build and the episodes.
+        for name in ["space.build", "rl.episode", "rl.partition"] {
+            assert!(
+                has(&|p| matches!(p, Payload::SpanStart { name: n } if n == name)),
+                "missing span {name}"
+            );
+        }
     }
 
     #[test]

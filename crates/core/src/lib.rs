@@ -74,14 +74,18 @@ mod session;
 mod space;
 pub mod telemetry;
 
+/// Structured tracing: spans, typed events, the flight recorder, and the
+/// JSON-lines exporter (the `alex-trace` crate, re-exported).
+pub use alex_trace as trace;
+
 pub use candidates::CandidateSet;
-pub use config::AlexConfig;
+pub use config::{AlexConfig, TraceConfig};
 pub use driver::{AlexDriver, RunOutcome, SpaceBuildStats};
 pub use engine::{EngineDiagnostics, PartitionEngine, PartitionEpisodeStats};
 pub use feature::{Feature, FeatureKey, FeatureSet};
 pub use metrics::{EpisodeReport, Quality};
 pub use oracle::{ExactOracle, FeedbackOracle, NoisyOracle, ReluctantOracle};
 pub use partition::{partition_of, round_robin};
-pub use policy::{Policy, QTable, StateAction};
+pub use policy::{ChoiceExplanation, Policy, QTable, StateAction};
 pub use session::{LiveSession, SessionError, SessionHandle, SessionSnapshot, SNAPSHOT_VERSION};
 pub use space::{ExplorationSpace, DEFAULT_MAX_BLOCK};

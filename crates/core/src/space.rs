@@ -127,7 +127,9 @@ impl ExplorationSpace {
         executor: &Executor,
         cache: &SimCache,
     ) -> Self {
+        let _span = alex_trace::span("space.build");
         // Inverted index over the right dataset.
+        let index_span = alex_trace::span("space.index_right");
         let mut right_index: HashMap<String, Vec<IriId>> = HashMap::new();
         let mut right_entities: HashMap<IriId, Entity> = HashMap::new();
         let mut keys = Vec::new();
@@ -146,6 +148,7 @@ impl ExplorationSpace {
             right_entities.insert(subject, entity);
         }
         right_index.retain(|_, v| v.len() <= max_block);
+        drop(index_span);
 
         let interner = left.interner();
 
@@ -153,6 +156,7 @@ impl ExplorationSpace {
         // pairs in deterministic (subject order, then sorted candidate)
         // order. All cross-thread state is read-only; similarity scores go
         // through the shared cache.
+        let score_span = alex_trace::span("space.score_pairs");
         let chunk_results: Vec<Vec<(Link, FeatureSet)>> =
             executor.map_chunks(left_subjects, |chunk| {
                 let mut out: Vec<(Link, FeatureSet)> = Vec::new();
@@ -194,9 +198,11 @@ impl ExplorationSpace {
                 }
                 out
             });
+        drop(score_span);
 
         // Serial, order-preserving merge: replays exactly the pair sequence
         // the single-threaded loop would have produced.
+        let merge_span = alex_trace::span("space.merge");
         let mut pairs: Vec<PairEntry> = Vec::new();
         let mut pair_index: HashMap<Link, u32> = HashMap::new();
         let mut ranges: HashMap<FeatureKey, Vec<(f64, u32)>> = HashMap::new();
@@ -211,6 +217,7 @@ impl ExplorationSpace {
         for list in ranges.values_mut() {
             list.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("scores are finite"));
         }
+        drop(merge_span);
 
         Self {
             pairs,

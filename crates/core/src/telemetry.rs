@@ -102,6 +102,12 @@ impl FloatGauge {
 /// spanning ~10 µs to ~10 minutes of latency with bounded memory.
 const BUCKETS: usize = 64;
 
+/// Every `EXPOSITION_STEP`-th internal bucket bound becomes a `le=` bound
+/// in the rendered exposition: 16 bounds spanning ~25 µs to ~27 minutes,
+/// each ×~3.3 apart — enough resolution for latency dashboards without
+/// 64 lines per histogram.
+const EXPOSITION_STEP: usize = 4;
+
 #[derive(Debug)]
 struct HistogramInner {
     counts: [u64; BUCKETS],
@@ -170,6 +176,23 @@ impl Histogram {
     /// Sum of all observations, in seconds.
     pub fn sum(&self) -> f64 {
         self.inner.lock().sum
+    }
+
+    /// Cumulative bucket counts at the exposition bounds: every
+    /// [`EXPOSITION_STEP`]-th internal bound, as `(upper_bound_seconds,
+    /// observations ≤ bound)` pairs. The final `+Inf` bucket is implicit —
+    /// its count is [`Histogram::count`].
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let g = self.inner.lock();
+        let mut out = Vec::with_capacity(BUCKETS / EXPOSITION_STEP);
+        let mut cumulative = 0u64;
+        for (i, &c) in g.counts.iter().enumerate() {
+            cumulative += c;
+            if (i + 1) % EXPOSITION_STEP == 0 {
+                out.push((Self::bucket_bound(i), cumulative));
+            }
+        }
+        out
     }
 
     /// Estimates the `q`-quantile (`0.0 ..= 1.0`) in seconds, or `None`
@@ -241,12 +264,14 @@ impl MetricsRegistry {
         )
     }
 
-    /// Renders every instrument in text exposition format, sorted by name.
+    /// Renders every instrument in Prometheus text exposition format,
+    /// sorted by name.
     ///
-    /// Counters and gauges emit one `name value` line. Histograms emit
-    /// `name{quantile="0.5|0.95|0.99"}`, `name_count`, and `name_sum`
-    /// lines; a histogram name that already carries labels has the
-    /// quantile label merged into the existing set.
+    /// Counters and gauges emit one `name value` line. Histograms emit the
+    /// standard Prometheus histogram series: cumulative
+    /// `name_bucket{le="…"}` lines ending with `le="+Inf"`, then
+    /// `name_sum` and `name_count`; a histogram name that already carries
+    /// labels has the `le` label merged into the existing set.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (name, c) in self.counters.lock().iter() {
@@ -271,17 +296,18 @@ impl MetricsRegistry {
             ));
         }
         for (name, h) in self.histograms.lock().iter() {
-            out.push_str(&format!("# TYPE {} summary\n", base_name(name)));
-            for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
-                let v = h.quantile(q).unwrap_or(0.0);
-                out.push_str(&format!(
-                    "{} {v}\n",
-                    with_label(name, &format!("quantile=\"{label}\""))
-                ));
-            }
+            out.push_str(&format!("# TYPE {} histogram\n", base_name(name)));
             let (base, labels) = split_labels(name);
-            out.push_str(&format!("{base}_count{labels} {}\n", h.count()));
+            let bucket_line = |le: &str, count: u64| {
+                let series = with_label(&format!("{base}_bucket{labels}"), &format!("le=\"{le}\""));
+                format!("{series} {count}\n")
+            };
+            for (bound, cumulative) in h.cumulative_buckets() {
+                out.push_str(&bucket_line(&format!("{bound}"), cumulative));
+            }
+            out.push_str(&bucket_line("+Inf", h.count()));
             out.push_str(&format!("{base}_sum{labels} {}\n", h.sum()));
+            out.push_str(&format!("{base}_count{labels} {}\n", h.count()));
         }
         out
     }
@@ -374,9 +400,63 @@ mod tests {
         assert!(text.contains("# TYPE http_requests_total counter"));
         assert!(text.contains("http_requests_total{route=\"/healthz\",status=\"200\"} 1"));
         assert!(text.contains("sessions_active 2"));
-        assert!(text.contains("request_seconds{route=\"/query\",quantile=\"0.5\"}"));
+        assert!(text.contains("# TYPE request_seconds histogram"));
+        assert!(text.contains("request_seconds_bucket{route=\"/query\",le=\"+Inf\"} 1"));
         assert!(text.contains("request_seconds_count{route=\"/query\"} 1"));
         assert!(text.contains("request_seconds_sum{route=\"/query\"} 0.003"));
+    }
+
+    /// Locks the Prometheus histogram exposition format: cumulative
+    /// `_bucket{le="…"}` series ending in `+Inf`, then `_sum` and
+    /// `_count`, with `le` merged into any existing label set.
+    #[test]
+    fn histogram_exposition_is_prometheus_format() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("latency_seconds{route=\"/q\"}");
+        h.record(0.003);
+        h.record(0.003);
+        h.record(2.0);
+        let text = reg.render();
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("latency_seconds") || l.contains("latency_seconds"))
+            .collect();
+        assert_eq!(lines[0], "# TYPE latency_seconds histogram");
+        // Bucket lines are cumulative and monotone, and every one carries
+        // both the original label and `le`.
+        let buckets: Vec<&&str> = lines
+            .iter()
+            .filter(|l| l.starts_with("latency_seconds_bucket"))
+            .collect();
+        assert!(!buckets.is_empty());
+        let mut prev = 0u64;
+        for line in &buckets {
+            assert!(
+                line.starts_with("latency_seconds_bucket{route=\"/q\",le=\""),
+                "{line}"
+            );
+            let count: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(count >= prev, "buckets must be cumulative: {text}");
+            prev = count;
+        }
+        // The +Inf bucket is last and equals the observation count.
+        assert_eq!(
+            **buckets.last().unwrap(),
+            "latency_seconds_bucket{route=\"/q\",le=\"+Inf\"} 3"
+        );
+        // A finite bound separates the two fast observations from the
+        // slow one (2s exceeds all bounds below ~3.3s only at the top).
+        assert!(
+            buckets.iter().any(|l| l.ends_with(" 2")),
+            "expected an intermediate cumulative count of 2: {text}"
+        );
+        assert!(text.contains("latency_seconds_sum{route=\"/q\"} 2.006"));
+        assert!(text.contains("latency_seconds_count{route=\"/q\"} 3"));
+        // _sum comes before _count, after the buckets (Prometheus order).
+        let sum_at = text.find("latency_seconds_sum").unwrap();
+        let count_at = text.find("latency_seconds_count").unwrap();
+        let inf_at = text.find("le=\"+Inf\"").unwrap();
+        assert!(inf_at < sum_at && sum_at < count_at);
     }
 
     #[test]

@@ -162,6 +162,7 @@ impl ParisLinker {
     /// comes from [`ParisConfig::threads`] / `ALEX_THREADS`, and the output
     /// is bit-identical at every thread count.
     pub fn run(&self, left: &Store, right: &Store) -> ParisOutput {
+        let _span = alex_trace::span("paris.run");
         let cfg = &self.config;
         let executor = Executor::resolve(cfg.threads);
         let cache = SimCache::new(cfg.sim);
@@ -170,7 +171,9 @@ impl ParisLinker {
         let fun_right = functionality::FunctionalityTable::build(right);
 
         let t = Instant::now();
+        let blocking_span = alex_trace::span("paris.blocking");
         let candidates = blocking::candidate_pairs_with(left, right, cfg.max_block_size, &executor);
+        drop(blocking_span);
         let blocking_seconds = t.elapsed().as_secs_f64();
 
         let mut eqv = equivalence::EquivalenceTable::new(candidates.clone());
@@ -179,13 +182,17 @@ impl ParisLinker {
         let mut alignment_seconds = 0.0;
         for _round in 0..cfg.iterations.max(1) {
             let t = Instant::now();
+            let eq_span = alex_trace::span("paris.equivalence");
             eqv.update_with(
                 left, right, &align, &fun_left, &fun_right, cfg, &executor, &cache,
             );
+            drop(eq_span);
             equivalence_seconds += t.elapsed().as_secs_f64();
             let t = Instant::now();
+            let align_span = alex_trace::span("paris.alignment");
             align =
                 alignment::AlignmentTable::estimate_with(left, right, &eqv, cfg, &executor, &cache);
+            drop(align_span);
             alignment_seconds += t.elapsed().as_secs_f64();
         }
 

@@ -38,6 +38,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
 
 use alex_rdf::{Interner, IriId, Link, Store, Term, Triple};
+use alex_trace::{self as trace, Payload};
 
 use crate::ast::{Group, PatternTerm, Query, TriplePattern};
 use crate::exec::{eval_filter, resolve_literal, total_term_cmp, VarTable};
@@ -425,6 +426,7 @@ impl<'a> FederatedEngine<'a> {
     /// model: unreachable sources are skipped (not fatal) and accounted
     /// in the report.
     pub fn execute_report(&self, query: &Query) -> QueryReport {
+        let _span = trace::span("query.federated");
         let mut ctx = QueryCtx {
             budget: vec![self.cfg.source_budget_ms; self.sources.len()],
             counters: self
@@ -445,6 +447,11 @@ impl<'a> FederatedEngine<'a> {
             rep.skipped = ctx.skipped.contains(&idx);
         }
         let degraded = !ctx.skipped.is_empty();
+        if degraded {
+            trace::emit(|| Payload::QueryDegraded {
+                skipped: ctx.skipped.len() as u64,
+            });
+        }
         QueryReport {
             answers,
             sources,
@@ -608,10 +615,19 @@ impl<'a> FederatedEngine<'a> {
             Breaker::Open { until_ms } if st.clock_ms < until_ms => {
                 ctx.counters[idx].breaker_skipped += 1;
                 ctx.skipped.insert(idx);
+                trace::emit(|| Payload::SourceSkipped {
+                    source: source.name().to_string(),
+                    reason: "breaker_open".into(),
+                });
                 return Vec::new();
             }
             Breaker::Open { .. } => {
                 st.breakers[idx] = Breaker::HalfOpen { successes: 0 };
+                trace::emit(|| Payload::BreakerTransition {
+                    source: source.name().to_string(),
+                    from: "open".into(),
+                    to: "half-open".into(),
+                });
             }
             _ => {}
         }
@@ -620,6 +636,10 @@ impl<'a> FederatedEngine<'a> {
         let outcome = loop {
             if ctx.budget[idx] == 0 {
                 ctx.counters[idx].budget_exhausted += 1;
+                trace::emit(|| Payload::SourceSkipped {
+                    source: source.name().to_string(),
+                    reason: "budget_exhausted".into(),
+                });
                 break ProbeOutcome::Skipped;
             }
             let deadline = ctx.budget[idx].min(cfg.attempt_timeout_ms);
@@ -627,19 +647,50 @@ impl<'a> FederatedEngine<'a> {
             if attempt > 0 {
                 ctx.counters[idx].retries += 1;
             }
+            let breaker_at_start = st.breakers[idx].kind();
             let probe = source.probe(subject, predicate, object, deadline);
             ctx.budget[idx] = ctx.budget[idx].saturating_sub(probe.elapsed_ms);
             st.clock_ms = st.clock_ms.saturating_add(probe.elapsed_ms);
             match probe.result {
-                Ok(triples) => break ProbeOutcome::Success(triples),
+                Ok(triples) => {
+                    trace::emit(|| Payload::SourceAttempt {
+                        source: source.name().to_string(),
+                        attempt: u64::from(attempt) + 1,
+                        outcome: "ok".into(),
+                        wait_ms: probe.elapsed_ms,
+                        backoff_ms: 0,
+                        breaker: breaker_at_start.as_str().into(),
+                    });
+                    break ProbeOutcome::Success(triples);
+                }
                 Err(error) => {
-                    match &error {
-                        SourceError::Timeout => ctx.counters[idx].timeouts += 1,
-                        SourceError::Transient(_) => ctx.counters[idx].transient_errors += 1,
-                        SourceError::Truncated { .. } => ctx.counters[idx].truncations += 1,
-                        SourceError::Unavailable(_) => ctx.counters[idx].outages += 1,
-                    }
+                    let outcome_label = match &error {
+                        SourceError::Timeout => {
+                            ctx.counters[idx].timeouts += 1;
+                            "timeout"
+                        }
+                        SourceError::Transient(_) => {
+                            ctx.counters[idx].transient_errors += 1;
+                            "transient"
+                        }
+                        SourceError::Truncated { .. } => {
+                            ctx.counters[idx].truncations += 1;
+                            "truncated"
+                        }
+                        SourceError::Unavailable(_) => {
+                            ctx.counters[idx].outages += 1;
+                            "outage"
+                        }
+                    };
                     if !error.is_retryable() || attempt >= cfg.max_retries {
+                        trace::emit(|| Payload::SourceAttempt {
+                            source: source.name().to_string(),
+                            attempt: u64::from(attempt) + 1,
+                            outcome: outcome_label.into(),
+                            wait_ms: probe.elapsed_ms,
+                            backoff_ms: 0,
+                            breaker: breaker_at_start.as_str().into(),
+                        });
                         break ProbeOutcome::Failed;
                     }
                     // Exponential backoff with deterministic jitter,
@@ -652,6 +703,14 @@ impl<'a> FederatedEngine<'a> {
                     let u = unit(stable_mix(cfg.jitter_seed ^ st.draws, idx as u64));
                     let factor = 1.0 + cfg.backoff_jitter * (u - 0.5);
                     let backoff = (base as f64 * factor).round().max(0.0) as u64;
+                    trace::emit(|| Payload::SourceAttempt {
+                        source: source.name().to_string(),
+                        attempt: u64::from(attempt) + 1,
+                        outcome: outcome_label.into(),
+                        wait_ms: probe.elapsed_ms,
+                        backoff_ms: backoff,
+                        breaker: breaker_at_start.as_str().into(),
+                    });
                     ctx.budget[idx] = ctx.budget[idx].saturating_sub(backoff.max(1));
                     st.clock_ms = st.clock_ms.saturating_add(backoff);
                     attempt += 1;
@@ -664,6 +723,11 @@ impl<'a> FederatedEngine<'a> {
                 st.breakers[idx] = match st.breakers[idx] {
                     Breaker::HalfOpen { successes } => {
                         if successes + 1 >= cfg.breaker_halfopen_successes {
+                            trace::emit(|| Payload::BreakerTransition {
+                                source: source.name().to_string(),
+                                from: "half-open".into(),
+                                to: "closed".into(),
+                            });
                             Breaker::Closed { failures: 0 }
                         } else {
                             Breaker::HalfOpen {
@@ -682,6 +746,11 @@ impl<'a> FederatedEngine<'a> {
                     Breaker::Closed { failures } => {
                         if failures + 1 >= cfg.breaker_threshold {
                             ctx.counters[idx].breaker_opened += 1;
+                            trace::emit(|| Payload::BreakerTransition {
+                                source: source.name().to_string(),
+                                from: "closed".into(),
+                                to: "open".into(),
+                            });
                             Breaker::Open {
                                 until_ms: st.clock_ms.saturating_add(cfg.breaker_cooldown_ms),
                             }
@@ -694,6 +763,11 @@ impl<'a> FederatedEngine<'a> {
                     // A half-open trial failed: straight back to open.
                     Breaker::HalfOpen { .. } => {
                         ctx.counters[idx].breaker_opened += 1;
+                        trace::emit(|| Payload::BreakerTransition {
+                            source: source.name().to_string(),
+                            from: "half-open".into(),
+                            to: "open".into(),
+                        });
                         Breaker::Open {
                             until_ms: st.clock_ms.saturating_add(cfg.breaker_cooldown_ms),
                         }
@@ -701,6 +775,10 @@ impl<'a> FederatedEngine<'a> {
                     open @ Breaker::Open { .. } => open,
                 };
                 ctx.skipped.insert(idx);
+                trace::emit(|| Payload::SourceSkipped {
+                    source: source.name().to_string(),
+                    reason: "failed".into(),
+                });
                 Vec::new()
             }
             ProbeOutcome::Skipped => {
@@ -1213,6 +1291,59 @@ mod tests {
         assert_eq!(report.skipped_sources(), vec!["nytimes"]);
         assert!(report.sources[1].timeouts > 0);
         assert!(report.total_timeouts() > 0);
+    }
+
+    #[test]
+    fn trace_has_one_source_attempt_event_per_probe_attempt() {
+        use alex_trace::{TraceMode, TraceSettings};
+        let (dbpedia, nytimes, link) = federation_fixture();
+        let mut fed = faulty_fed(
+            &dbpedia,
+            &nytimes,
+            FaultConfig::transient(0.3, 0xA1),
+            FaultConfig::transient(0.3, 0xA2),
+            FederationConfig {
+                max_retries: 6,
+                ..FederationConfig::default()
+            },
+        );
+        fed.add_links([link]);
+
+        alex_trace::configure(&TraceSettings {
+            mode: TraceMode::Ring,
+            sample: 1.0,
+            ring_capacity: 1 << 16,
+        })
+        .unwrap();
+        let span = alex_trace::root_span("test.query");
+        let trace_id = span.trace_id();
+        let report = fed.execute_str_report(JOIN_QUERY).unwrap();
+        drop(span);
+        let events = alex_trace::recorder().trace_events(trace_id);
+        alex_trace::configure(&TraceSettings::default()).unwrap();
+
+        assert!(report.total_retries() > 0, "the faults were actually hit");
+        for rep in &report.sources {
+            let attempts = events
+                .iter()
+                .filter(|e| {
+                    matches!(&e.payload, Payload::SourceAttempt { source, .. } if *source == rep.name)
+                })
+                .count() as u64;
+            assert_eq!(
+                attempts, rep.probes,
+                "one source_attempt event per probe attempt for {}",
+                rep.name
+            );
+            let retries = events
+                .iter()
+                .filter(|e| {
+                    matches!(&e.payload, Payload::SourceAttempt { source, attempt, .. }
+                        if *source == rep.name && *attempt > 1)
+                })
+                .count() as u64;
+            assert_eq!(retries, rep.retries, "retry attempts numbered > 1");
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use std::collections::HashSet;
 use std::path::Path;
 
+use alex_core::trace;
 use alex_core::{AlexConfig, AlexDriver, LiveSession, Quality, SessionHandle};
 use alex_query::FederatedEngine;
 use alex_rdf::{ntriples, turtle, Interner, Link, Store, Term};
@@ -49,7 +50,13 @@ pub fn route(state: &AppState, req: &Request) -> (&'static str, Response) {
             ("/sessions/{id}/feedback", feedback(state, id, req))
         }
         ("GET", ["sessions", id, "links"]) => ("/sessions/{id}/links", links(state, id)),
+        ("GET", ["debug", "events"]) => ("/debug/events", debug_events(req)),
+        ("GET", ["debug", "trace", rid]) => ("/debug/trace/{request_id}", debug_trace(rid, req)),
         // Known paths with the wrong method get a 405 rather than a 404.
+        (_, ["debug", "events"]) | (_, ["debug", "trace", _]) => (
+            "(method)",
+            Response::error(405, format!("method {} not allowed here", req.method)),
+        ),
         (_, ["healthz" | "metrics"]) | (_, ["sessions"]) | (_, ["sessions", _]) => (
             "(method)",
             Response::error(405, format!("method {} not allowed here", req.method)),
@@ -576,6 +583,66 @@ fn links(state: &AppState, id: &str) -> Response {
             ("blacklist", pairs(&snapshot.blacklist)),
         ]),
     )
+}
+
+/// Renders events as JSON lines (one event per line, oldest first).
+fn events_as_jsonl(events: &[trace::Event]) -> Response {
+    let mut body = String::new();
+    for e in events {
+        body.push_str(&e.to_json_line());
+        body.push('\n');
+    }
+    Response::text(200, body)
+}
+
+/// The 503 returned by debug endpoints when the flight recorder is off.
+fn tracing_disabled() -> Response {
+    Response::error(
+        503,
+        "tracing is disabled: set ALEX_TRACE=ring (or jsonl:<path>) and restart",
+    )
+}
+
+/// `GET /debug/events?limit=N` — the most recent flight-recorder events
+/// across all traces, as JSON lines. `limit` defaults to 256.
+fn debug_events(req: &Request) -> Response {
+    if !trace::enabled() {
+        return tracing_disabled();
+    }
+    let limit = req
+        .query_params()
+        .iter()
+        .find(|(k, _)| k == "limit")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(256);
+    events_as_jsonl(&trace::recorder().snapshot(limit))
+}
+
+/// `GET /debug/trace/{request_id}` — every event of the trace that served
+/// the given `X-Request-Id`, as JSON lines (or an indented span tree with
+/// `?format=tree`). 404 when the id was never seen or its events have
+/// been evicted from the ring.
+fn debug_trace(request_id: &str, req: &Request) -> Response {
+    if !trace::enabled() {
+        return tracing_disabled();
+    }
+    let rec = trace::recorder();
+    let Some(trace_id) = rec.find_request(request_id) else {
+        return Response::error(
+            404,
+            format!("no trace for request id {request_id:?} (unknown or evicted from the ring)"),
+        );
+    };
+    let events = rec.trace_events(trace_id);
+    let wants_tree = req
+        .query_params()
+        .iter()
+        .any(|(k, v)| k == "format" && v == "tree");
+    if wants_tree {
+        Response::text(200, trace::render_tree(&events))
+    } else {
+        events_as_jsonl(&events)
+    }
 }
 
 #[cfg(test)]

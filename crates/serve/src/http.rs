@@ -309,6 +309,9 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Forces `Connection: close` regardless of the request's preference.
     pub close: bool,
+    /// Additional headers (name, value), written after the standard set.
+    /// Used for per-request metadata such as `X-Request-Id`.
+    pub extra_headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -319,6 +322,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
             close: false,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -331,7 +335,14 @@ impl Response {
             content_type: "application/json",
             body: body.into_bytes(),
             close: false,
+            extra_headers: Vec::new(),
         }
+    }
+
+    /// Adds one extra response header (builder-style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.extra_headers.push((name, value.into()));
+        self
     }
 
     /// A JSON error envelope: `{"error": message}`.
@@ -364,13 +375,17 @@ impl Response {
         let keep = keep_alive && !self.close;
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             Self::reason(self.status),
             self.content_type,
             self.body.len(),
             if keep { "keep-alive" } else { "close" },
         )?;
+        for (name, value) in &self.extra_headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
         w.write_all(&self.body)?;
         w.flush()
     }
@@ -557,6 +572,20 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.ends_with("{\"error\":\"queue full\"}\n"));
+    }
+
+    #[test]
+    fn extra_headers_are_written_before_the_blank_line() {
+        let mut out = Vec::new();
+        Response::text(200, "ok\n")
+            .with_header("X-Request-Id", "r42")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Request-Id: r42\r\n"));
+        let head_end = text.find("\r\n\r\n").unwrap();
+        assert!(text.find("X-Request-Id").unwrap() < head_end);
+        assert!(text.ends_with("\r\n\r\nok\n"));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use alex_core::trace::{self, Payload};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
 
 use crate::api;
@@ -233,7 +234,27 @@ fn handle_connection(
         match read_request(&mut reader) {
             Ok(req) => {
                 let started = Instant::now();
-                let (route_label, resp) = api::route(state, &req);
+                // Propagate the client's request id (or assign one); the
+                // id is echoed back as `X-Request-Id` and keys this
+                // request's trace for `GET /debug/trace/{id}`.
+                let request_id = match req.header("x-request-id") {
+                    Some(id) if !id.trim().is_empty() => id.trim().to_string(),
+                    _ => state.fresh_request_id(),
+                };
+                let span = trace::root_span("http.request");
+                trace::emit(|| Payload::HttpRequest {
+                    request_id: request_id.clone(),
+                    method: req.method.clone(),
+                    path: req.path.clone(),
+                });
+                let (route_label, mut resp) = api::route(state, &req);
+                trace::emit(|| Payload::HttpResponse {
+                    request_id: request_id.clone(),
+                    route: route_label.to_string(),
+                    status: u64::from(resp.status),
+                });
+                drop(span);
+                resp.extra_headers.push(("X-Request-Id", request_id));
                 // During shutdown, finish this response but don't linger
                 // for another request on the connection.
                 let keep =

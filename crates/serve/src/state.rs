@@ -29,6 +29,7 @@ pub struct AppState {
     /// Where shutdown persists session snapshots, if anywhere.
     pub state_dir: Option<PathBuf>,
     next_id: AtomicU64,
+    next_request_id: AtomicU64,
 }
 
 impl AppState {
@@ -39,12 +40,19 @@ impl AppState {
             metrics: MetricsRegistry::new(),
             state_dir,
             next_id: AtomicU64::new(1),
+            next_request_id: AtomicU64::new(1),
         }
     }
 
     /// Allocates the next session id (`s1`, `s2`, …).
     pub fn fresh_id(&self) -> String {
         format!("s{}", self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Allocates a request id (`r1`, `r2`, …) for requests that did not
+    /// bring their own `X-Request-Id`.
+    pub fn fresh_request_id(&self) -> String {
+        format!("r{}", self.next_request_id.fetch_add(1, Ordering::Relaxed))
     }
 
     /// Snapshots every session to `state_dir/session-<id>.json` (the raw

@@ -1,0 +1,192 @@
+//! End-to-end tracing through a live server: a real TCP client issues a
+//! federated query with an `X-Request-Id`, then reads that request's
+//! trace back through `GET /debug/trace/{id}` and checks it against the
+//! source accounting the query response itself reported.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use alex_core::trace::{self, Payload, TraceMode, TraceSettings};
+use alex_serve::{ServeConfig, Server};
+
+/// One HTTP/1.0-style exchange on a fresh connection (`Connection:
+/// close`), returning (status, headers, body).
+fn exchange(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    extra_headers: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n{extra_headers}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("utf-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("response framing");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn session_body() -> String {
+    let mut left = String::new();
+    let mut right = String::new();
+    for i in 0..4 {
+        left.push_str(&format!(
+            "<http://l/e{i}> <http://l/name> \\\"player number {i}\\\" .\\n"
+        ));
+        right.push_str(&format!(
+            "<http://r/e{i}> <http://r/label> \\\"player number {i}\\\" .\\n"
+        ));
+    }
+    format!(
+        r#"{{"left_data": "{left}", "right_data": "{right}",
+            "links": [["http://l/e0", "http://r/e0"], ["http://l/e1", "http://r/e1"]],
+            "config": {{"partitions": 1, "epsilon": 0.0, "seed": 7}}}}"#
+    )
+}
+
+// One sequential test: the flight recorder is process-global, so the
+// disabled-path check and the ring-mode flow must not run concurrently.
+#[test]
+fn request_trace_matches_query_report_source_accounting() {
+    // With tracing off, the debug endpoints refuse rather than serve an
+    // empty trace.
+    {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .expect("server start");
+        trace::configure(&TraceSettings::default()).expect("reset trace config");
+        let (status, _, body) = exchange(server.local_addr(), "GET", "/debug/events", "", "");
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("ALEX_TRACE"), "{body}");
+        server.shutdown();
+    }
+
+    trace::configure(&TraceSettings {
+        mode: TraceMode::Ring,
+        sample: 1.0,
+        ring_capacity: 1 << 16,
+    })
+    .expect("enable ring recorder");
+
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    let addr = server.local_addr();
+
+    // Create a session; the server assigns a request id when the client
+    // brings none.
+    let (status, headers, body) = exchange(addr, "POST", "/sessions", "", &session_body());
+    assert_eq!(status, 201, "{body}");
+    assert!(
+        header(&headers, "x-request-id").is_some_and(|id| id.starts_with('r')),
+        "server should assign an X-Request-Id: {headers:?}"
+    );
+    let created = serde_json::parse_value_str(&body).unwrap();
+    let id = created.get("id").unwrap().as_str().unwrap().to_string();
+
+    // Query with a client-supplied request id; it must be echoed back.
+    let rid = "e2e-trace-42";
+    let (status, headers, body) = exchange(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/query"),
+        &format!("X-Request-Id: {rid}\r\n"),
+        r#"{"query": "SELECT ?n WHERE { ?l <http://l/name> ?n }"}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(header(&headers, "x-request-id"), Some(rid));
+    let report = serde_json::parse_value_str(&body).unwrap();
+
+    // The request's trace is retrievable by its id and contains exactly
+    // one source_attempt event per probe the query response reported,
+    // each labelled with the breaker state at the time of the attempt.
+    let (status, _, jsonl) = exchange(addr, "GET", &format!("/debug/trace/{rid}"), "", "");
+    assert_eq!(status, 200, "{jsonl}");
+    let events = trace::parse_jsonl(&jsonl).expect("trace endpoint returns valid JSONL");
+    assert!(
+        events.iter().any(|e| matches!(
+            &e.payload,
+            Payload::HttpRequest { request_id, path, .. }
+                if request_id == rid && path.contains("/query")
+        )),
+        "trace should open with the http_request event: {jsonl}"
+    );
+    for source in report.get("sources").unwrap().as_array().unwrap() {
+        let name = source.get("name").unwrap().as_str().unwrap();
+        let probes = source.get("probes").unwrap().as_u64().unwrap();
+        let attempts: Vec<&trace::Event> = events
+            .iter()
+            .filter(
+                |e| matches!(&e.payload, Payload::SourceAttempt { source, .. } if source == name),
+            )
+            .collect();
+        assert_eq!(
+            attempts.len() as u64,
+            probes,
+            "source {name}: one source_attempt event per probe\n{jsonl}"
+        );
+        for e in &attempts {
+            let Payload::SourceAttempt { breaker, .. } = &e.payload else {
+                unreachable!()
+            };
+            assert!(!breaker.is_empty(), "attempt must carry breaker state");
+        }
+    }
+
+    // The tree rendering shows the span hierarchy under the HTTP request.
+    let (status, _, tree) = exchange(
+        addr,
+        "GET",
+        &format!("/debug/trace/{rid}?format=tree"),
+        "",
+        "",
+    );
+    assert_eq!(status, 200);
+    assert!(tree.contains("http.request"), "{tree}");
+    assert!(tree.contains("query.federated"), "{tree}");
+
+    // /debug/events honors its limit.
+    let (status, _, jsonl) = exchange(addr, "GET", "/debug/events?limit=5", "", "");
+    assert_eq!(status, 200);
+    assert!(jsonl.lines().count() <= 5, "{jsonl}");
+
+    // Unknown request ids are a 404, not an empty 200.
+    let (status, _, _) = exchange(addr, "GET", "/debug/trace/never-seen", "", "");
+    assert_eq!(status, 404);
+
+    server.shutdown();
+    trace::configure(&TraceSettings::default()).expect("reset trace config");
+}

@@ -1,0 +1,566 @@
+//! Typed trace events and their JSON-lines encoding.
+//!
+//! Every event is one flat JSON object per line, tagged by `kind`. The
+//! schema is part of the tool surface: `alex trace` and the `/debug/*`
+//! endpoints parse these lines back, so [`Event::to_json_line`] and
+//! [`Event::parse_json_line`] must stay exact inverses (locked by tests).
+
+use crate::json::{parse_flat_object, push_f64, push_str};
+
+/// The typed body of one trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// A span opened (`span` is its id, `parent` the enclosing span).
+    SpanStart {
+        /// Span name, dotted taxonomy (e.g. `http.request`, `rl.episode`).
+        name: String,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Name repeated from the matching start, for greppability.
+        name: String,
+        /// Wall time between start and end, in microseconds.
+        elapsed_us: u64,
+    },
+    /// An HTTP request entered the server.
+    HttpRequest {
+        /// The `X-Request-Id` (client-supplied or server-assigned).
+        request_id: String,
+        /// HTTP method.
+        method: String,
+        /// Request path.
+        path: String,
+    },
+    /// An HTTP response left the server.
+    HttpResponse {
+        /// The request id this response answers.
+        request_id: String,
+        /// The route label the request resolved to.
+        route: String,
+        /// HTTP status code.
+        status: u64,
+    },
+    /// One attempt against one federated source (including retries).
+    SourceAttempt {
+        /// Source label.
+        source: String,
+        /// 1-based attempt number within this probe.
+        attempt: u64,
+        /// `ok`, `timeout`, `transient`, `truncated`, or `outage`.
+        outcome: String,
+        /// Virtual milliseconds the attempt itself consumed.
+        wait_ms: u64,
+        /// Backoff delay scheduled before the *next* attempt (0 if none).
+        backoff_ms: u64,
+        /// Circuit-breaker state observed when the attempt started.
+        breaker: String,
+    },
+    /// The circuit breaker of a source changed state.
+    BreakerTransition {
+        /// Source label.
+        source: String,
+        /// Previous state.
+        from: String,
+        /// New state.
+        to: String,
+    },
+    /// A source was skipped without being attempted (degradation decision).
+    SourceSkipped {
+        /// Source label.
+        source: String,
+        /// Why: `breaker_open`, `budget_exhausted`, or `failed`.
+        reason: String,
+    },
+    /// The query finished with a partial answer set.
+    QueryDegraded {
+        /// Number of skipped-source incidents.
+        skipped: u64,
+    },
+    /// One user-feedback item on a link.
+    Feedback {
+        /// The judged link as `left<TAB>right` IRIs.
+        link: String,
+        /// Approved (`true`) or rejected.
+        positive: bool,
+    },
+    /// One ε-greedy action choice (the decision audit trail).
+    Decision {
+        /// The state link.
+        state: String,
+        /// ε in effect at the draw.
+        epsilon: f64,
+        /// Whether the ε coin chose exploration.
+        explored: bool,
+        /// The chosen feature (predicate pair) as `left<TAB>right`.
+        chosen: String,
+        /// The greedy action that was available (empty when none).
+        greedy: String,
+        /// `Q(state, chosen)` at choice time (see `q_defined`).
+        q: f64,
+        /// Whether `Q(state, chosen)` was defined at choice time.
+        q_defined: bool,
+        /// Observations recorded for `(state, chosen)` at choice time.
+        observations: u64,
+        /// Size of the action space `|A(state)|`.
+        actions: u64,
+        /// Size of the partition's exploration space.
+        space: u64,
+    },
+    /// Exploration added a candidate link.
+    LinkAdded {
+        /// The discovered link.
+        link: String,
+        /// The state the exploration started from.
+        state: String,
+        /// The feature that produced it.
+        feature: String,
+        /// The discovered link's score for that feature.
+        score: f64,
+    },
+    /// A candidate link was removed.
+    LinkRemoved {
+        /// The removed link.
+        link: String,
+        /// `rejected`, `blacklisted`, or `rollback`.
+        reason: String,
+    },
+    /// A state-action pair was rolled back (§6.3).
+    Rollback {
+        /// The state link.
+        state: String,
+        /// The banned feature.
+        feature: String,
+        /// Links removed by this rollback.
+        removed: u64,
+    },
+    /// One partition finished an episode.
+    EpisodeEnd {
+        /// Partition index.
+        partition: u64,
+        /// Feedback items processed.
+        feedback: u64,
+        /// Links added.
+        added: u64,
+        /// Links removed.
+        removed: u64,
+    },
+    /// A free-form diagnostic routed through the event log.
+    Message {
+        /// `info`, `warn`, or `error`.
+        level: String,
+        /// The message text.
+        text: String,
+    },
+}
+
+impl Payload {
+    /// The `kind` tag this payload serializes under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::SpanStart { .. } => "span_start",
+            Payload::SpanEnd { .. } => "span_end",
+            Payload::HttpRequest { .. } => "http_request",
+            Payload::HttpResponse { .. } => "http_response",
+            Payload::SourceAttempt { .. } => "source_attempt",
+            Payload::BreakerTransition { .. } => "breaker_transition",
+            Payload::SourceSkipped { .. } => "source_skipped",
+            Payload::QueryDegraded { .. } => "query_degraded",
+            Payload::Feedback { .. } => "feedback",
+            Payload::Decision { .. } => "decision",
+            Payload::LinkAdded { .. } => "link_added",
+            Payload::LinkRemoved { .. } => "link_removed",
+            Payload::Rollback { .. } => "rollback",
+            Payload::EpisodeEnd { .. } => "episode_end",
+            Payload::Message { .. } => "message",
+        }
+    }
+}
+
+/// One recorded event: ring-buffer ordering metadata plus the payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Global sequence number (total order across threads).
+    pub seq: u64,
+    /// Microseconds since the recorder's monotonic epoch.
+    pub ts_us: u64,
+    /// Trace this event belongs to (`0` = outside any trace).
+    pub trace: u64,
+    /// Span this event was emitted under (`0` = none).
+    pub span: u64,
+    /// Parent span (only meaningful on `span_start`/`span_end`).
+    pub parent: u64,
+    /// The typed body.
+    pub payload: Payload,
+}
+
+fn field_str(out: &mut String, key: &str, v: &str) {
+    out.push(',');
+    push_str(out, key);
+    out.push(':');
+    push_str(out, v);
+}
+
+fn field_u64(out: &mut String, key: &str, v: u64) {
+    out.push(',');
+    push_str(out, key);
+    out.push(':');
+    out.push_str(&v.to_string());
+}
+
+fn field_f64(out: &mut String, key: &str, v: f64) {
+    out.push(',');
+    push_str(out, key);
+    out.push(':');
+    push_f64(out, v);
+}
+
+fn field_bool(out: &mut String, key: &str, v: bool) {
+    out.push(',');
+    push_str(out, key);
+    out.push(':');
+    out.push_str(if v { "true" } else { "false" });
+}
+
+impl Event {
+    /// Serializes the event to one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut o = String::with_capacity(160);
+        o.push_str("{\"seq\":");
+        o.push_str(&self.seq.to_string());
+        field_u64(&mut o, "ts_us", self.ts_us);
+        field_u64(&mut o, "trace", self.trace);
+        field_u64(&mut o, "span", self.span);
+        field_u64(&mut o, "parent", self.parent);
+        field_str(&mut o, "kind", self.payload.kind());
+        match &self.payload {
+            Payload::SpanStart { name } => field_str(&mut o, "name", name),
+            Payload::SpanEnd { name, elapsed_us } => {
+                field_str(&mut o, "name", name);
+                field_u64(&mut o, "elapsed_us", *elapsed_us);
+            }
+            Payload::HttpRequest {
+                request_id,
+                method,
+                path,
+            } => {
+                field_str(&mut o, "request_id", request_id);
+                field_str(&mut o, "method", method);
+                field_str(&mut o, "path", path);
+            }
+            Payload::HttpResponse {
+                request_id,
+                route,
+                status,
+            } => {
+                field_str(&mut o, "request_id", request_id);
+                field_str(&mut o, "route", route);
+                field_u64(&mut o, "status", *status);
+            }
+            Payload::SourceAttempt {
+                source,
+                attempt,
+                outcome,
+                wait_ms,
+                backoff_ms,
+                breaker,
+            } => {
+                field_str(&mut o, "source", source);
+                field_u64(&mut o, "attempt", *attempt);
+                field_str(&mut o, "outcome", outcome);
+                field_u64(&mut o, "wait_ms", *wait_ms);
+                field_u64(&mut o, "backoff_ms", *backoff_ms);
+                field_str(&mut o, "breaker", breaker);
+            }
+            Payload::BreakerTransition { source, from, to } => {
+                field_str(&mut o, "source", source);
+                field_str(&mut o, "from", from);
+                field_str(&mut o, "to", to);
+            }
+            Payload::SourceSkipped { source, reason } => {
+                field_str(&mut o, "source", source);
+                field_str(&mut o, "reason", reason);
+            }
+            Payload::QueryDegraded { skipped } => field_u64(&mut o, "skipped", *skipped),
+            Payload::Feedback { link, positive } => {
+                field_str(&mut o, "link", link);
+                field_bool(&mut o, "positive", *positive);
+            }
+            Payload::Decision {
+                state,
+                epsilon,
+                explored,
+                chosen,
+                greedy,
+                q,
+                q_defined,
+                observations,
+                actions,
+                space,
+            } => {
+                field_str(&mut o, "state", state);
+                field_f64(&mut o, "epsilon", *epsilon);
+                field_bool(&mut o, "explored", *explored);
+                field_str(&mut o, "chosen", chosen);
+                field_str(&mut o, "greedy", greedy);
+                field_f64(&mut o, "q", *q);
+                field_bool(&mut o, "q_defined", *q_defined);
+                field_u64(&mut o, "observations", *observations);
+                field_u64(&mut o, "actions", *actions);
+                field_u64(&mut o, "space", *space);
+            }
+            Payload::LinkAdded {
+                link,
+                state,
+                feature,
+                score,
+            } => {
+                field_str(&mut o, "link", link);
+                field_str(&mut o, "state", state);
+                field_str(&mut o, "feature", feature);
+                field_f64(&mut o, "score", *score);
+            }
+            Payload::LinkRemoved { link, reason } => {
+                field_str(&mut o, "link", link);
+                field_str(&mut o, "reason", reason);
+            }
+            Payload::Rollback {
+                state,
+                feature,
+                removed,
+            } => {
+                field_str(&mut o, "state", state);
+                field_str(&mut o, "feature", feature);
+                field_u64(&mut o, "removed", *removed);
+            }
+            Payload::EpisodeEnd {
+                partition,
+                feedback,
+                added,
+                removed,
+            } => {
+                field_u64(&mut o, "partition", *partition);
+                field_u64(&mut o, "feedback", *feedback);
+                field_u64(&mut o, "added", *added);
+                field_u64(&mut o, "removed", *removed);
+            }
+            Payload::Message { level, text } => {
+                field_str(&mut o, "level", level);
+                field_str(&mut o, "text", text);
+            }
+        }
+        o.push('}');
+        o
+    }
+
+    /// Parses one line produced by [`Event::to_json_line`].
+    pub fn parse_json_line(line: &str) -> Result<Event, String> {
+        let kv = parse_flat_object(line)?;
+        let get = |key: &str| kv.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let req_str = |key: &str| -> Result<String, String> {
+            get(key)
+                .and_then(|v| v.as_str())
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let num = |key: &str| get(key).and_then(|v| v.as_u64()).unwrap_or(0);
+        let fnum = |key: &str| get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let flag = |key: &str| get(key).and_then(|v| v.as_bool()).unwrap_or(false);
+
+        let kind = req_str("kind")?;
+        let payload = match kind.as_str() {
+            "span_start" => Payload::SpanStart {
+                name: req_str("name")?,
+            },
+            "span_end" => Payload::SpanEnd {
+                name: req_str("name")?,
+                elapsed_us: num("elapsed_us"),
+            },
+            "http_request" => Payload::HttpRequest {
+                request_id: req_str("request_id")?,
+                method: req_str("method")?,
+                path: req_str("path")?,
+            },
+            "http_response" => Payload::HttpResponse {
+                request_id: req_str("request_id")?,
+                route: req_str("route")?,
+                status: num("status"),
+            },
+            "source_attempt" => Payload::SourceAttempt {
+                source: req_str("source")?,
+                attempt: num("attempt"),
+                outcome: req_str("outcome")?,
+                wait_ms: num("wait_ms"),
+                backoff_ms: num("backoff_ms"),
+                breaker: req_str("breaker")?,
+            },
+            "breaker_transition" => Payload::BreakerTransition {
+                source: req_str("source")?,
+                from: req_str("from")?,
+                to: req_str("to")?,
+            },
+            "source_skipped" => Payload::SourceSkipped {
+                source: req_str("source")?,
+                reason: req_str("reason")?,
+            },
+            "query_degraded" => Payload::QueryDegraded {
+                skipped: num("skipped"),
+            },
+            "feedback" => Payload::Feedback {
+                link: req_str("link")?,
+                positive: flag("positive"),
+            },
+            "decision" => Payload::Decision {
+                state: req_str("state")?,
+                epsilon: fnum("epsilon"),
+                explored: flag("explored"),
+                chosen: req_str("chosen")?,
+                greedy: req_str("greedy")?,
+                q: fnum("q"),
+                q_defined: flag("q_defined"),
+                observations: num("observations"),
+                actions: num("actions"),
+                space: num("space"),
+            },
+            "link_added" => Payload::LinkAdded {
+                link: req_str("link")?,
+                state: req_str("state")?,
+                feature: req_str("feature")?,
+                score: fnum("score"),
+            },
+            "link_removed" => Payload::LinkRemoved {
+                link: req_str("link")?,
+                reason: req_str("reason")?,
+            },
+            "rollback" => Payload::Rollback {
+                state: req_str("state")?,
+                feature: req_str("feature")?,
+                removed: num("removed"),
+            },
+            "episode_end" => Payload::EpisodeEnd {
+                partition: num("partition"),
+                feedback: num("feedback"),
+                added: num("added"),
+                removed: num("removed"),
+            },
+            "message" => Payload::Message {
+                level: req_str("level")?,
+                text: req_str("text")?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        Ok(Event {
+            seq: num("seq"),
+            ts_us: num("ts_us"),
+            trace: num("trace"),
+            span: num("span"),
+            parent: num("parent"),
+            payload,
+        })
+    }
+}
+
+/// Serializes events to JSON lines (one per line, trailing newline).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON-lines document back into events; blank lines are skipped.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(Event::parse_json_line)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        let mk = |seq, payload| Event {
+            seq,
+            ts_us: seq * 10,
+            trace: 1,
+            span: seq,
+            parent: seq.saturating_sub(1),
+            payload,
+        };
+        vec![
+            mk(
+                1,
+                Payload::SpanStart {
+                    name: "http.request".into(),
+                },
+            ),
+            mk(
+                2,
+                Payload::SourceAttempt {
+                    source: "dbpedia".into(),
+                    attempt: 2,
+                    outcome: "timeout".into(),
+                    wait_ms: 120,
+                    backoff_ms: 45,
+                    breaker: "closed".into(),
+                },
+            ),
+            mk(
+                3,
+                Payload::Decision {
+                    state: "http://l/e1\thttp://r/e1".into(),
+                    epsilon: 0.1,
+                    explored: false,
+                    chosen: "l/name\tr/label".into(),
+                    greedy: "l/name\tr/label".into(),
+                    q: 0.625,
+                    q_defined: true,
+                    observations: 8,
+                    actions: 3,
+                    space: 420,
+                },
+            ),
+            mk(
+                4,
+                Payload::Message {
+                    level: "warn".into(),
+                    text: "needs \"escaping\"\nand newlines".into(),
+                },
+            ),
+            mk(
+                5,
+                Payload::SpanEnd {
+                    name: "http.request".into(),
+                    elapsed_us: 870,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_payload_kind_round_trips() {
+        for e in sample_events() {
+            let line = e.to_json_line();
+            let back = Event::parse_json_line(&line).unwrap();
+            assert_eq!(back, e, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_document_round_trips() {
+        let events = sample_events();
+        let doc = to_jsonl(&events);
+        assert_eq!(doc.lines().count(), events.len());
+        assert_eq!(parse_jsonl(&doc).unwrap(), events);
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        let line = r#"{"seq":1,"kind":"martian"}"#;
+        assert!(Event::parse_json_line(line).is_err());
+    }
+}

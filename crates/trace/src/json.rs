@@ -1,0 +1,286 @@
+//! A minimal JSON writer/parser for flat (non-nested) objects.
+//!
+//! Trace events serialize to single-line JSON objects whose values are
+//! strings, numbers, or booleans — never nested containers — so a tiny
+//! hand-rolled codec keeps this crate dependency-free while staying
+//! interoperable with any JSON tooling pointed at the export.
+
+/// Appends `s` to `out` as a quoted JSON string with escapes.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite `f64` in shortest round-trip form; non-finite values
+/// (which valid events never produce) degrade to `0`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push('0');
+    }
+}
+
+/// One parsed scalar value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A JSON string.
+    Str(String),
+    /// Any JSON number.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Value {
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` (numeric values only; fractional parts truncate).
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_f64().map(|n| n.max(0.0) as u64)
+    }
+
+    /// The value as a bool, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("dangling escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-borrow the original str slice to keep multi-byte
+                    // UTF-8 sequences intact.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while self
+                        .bytes
+                        .get(end)
+                        .is_some_and(|&c| c != b'"' && c != b'\\')
+                    {
+                        end += 1;
+                    }
+                    let chunk =
+                        std::str::from_utf8(&self.bytes[start..end]).map_err(|e| e.to_string())?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                let mut end = self.pos;
+                while self.bytes.get(end).is_some_and(|&c| {
+                    c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    end += 1;
+                }
+                let text =
+                    std::str::from_utf8(&self.bytes[start..end]).map_err(|e| e.to_string())?;
+                self.pos = end;
+                text.parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|e| format!("bad number {text:?}: {e}"))
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("expected literal {word:?} at byte {}", self.pos))
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"key": scalar, ...}`) into key/value
+/// pairs in source order. Nested containers are a parse error — trace
+/// events never produce them.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.expect(b'{')?;
+    let mut out = Vec::new();
+    if p.peek() == Some(b'}') {
+        return Ok(out);
+    }
+    loop {
+        let key = p.parse_string()?;
+        p.expect(b':')?;
+        out.push((key, p.parse_value()?));
+        match p.peek() {
+            Some(b',') => {
+                p.pos += 1;
+            }
+            Some(b'}') => {
+                break;
+            }
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_escape_and_parse_back() {
+        let mut out = String::new();
+        push_str(&mut out, "a \"b\"\n\t\\ ü \u{1}");
+        let parsed = parse_flat_object(&format!("{{\"k\":{out}}}")).unwrap();
+        assert_eq!(parsed[0].1.as_str(), Some("a \"b\"\n\t\\ ü \u{1}"));
+    }
+
+    #[test]
+    fn numbers_round_trip_shortest_form() {
+        for v in [0.0, 0.1, -1.5, 1e-9, 12345.678, f64::MAX] {
+            let mut out = String::new();
+            push_f64(&mut out, v);
+            let parsed = parse_flat_object(&format!("{{\"k\":{out}}}")).unwrap();
+            assert_eq!(parsed[0].1.as_f64(), Some(v));
+        }
+    }
+
+    #[test]
+    fn non_finite_degrades_to_zero() {
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "0");
+    }
+
+    #[test]
+    fn flat_object_parses_all_scalar_kinds() {
+        let kv = parse_flat_object(r#"{"s":"x","n":-2.5,"t":true,"f":false,"z":null}"#).unwrap();
+        assert_eq!(kv.len(), 5);
+        assert_eq!(kv[0].1, Value::Str("x".into()));
+        assert_eq!(kv[1].1, Value::Num(-2.5));
+        assert_eq!(kv[2].1, Value::Bool(true));
+        assert_eq!(kv[3].1, Value::Bool(false));
+        assert_eq!(kv[4].1, Value::Null);
+    }
+
+    #[test]
+    fn garbage_is_an_error() {
+        assert!(parse_flat_object("not json").is_err());
+        assert!(parse_flat_object(r#"{"k":}"#).is_err());
+        assert!(parse_flat_object(r#"{"k":{"nested":1}}"#).is_err());
+        assert!(parse_flat_object(r#"{"k":"unterminated"#).is_err());
+    }
+}

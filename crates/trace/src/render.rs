@@ -1,0 +1,228 @@
+//! Pretty-printing a recorded trace as an indented span tree.
+
+use crate::event::{Event, Payload};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn one_line(e: &Event) -> String {
+    match &e.payload {
+        Payload::SpanStart { name } => format!("▶ {name}"),
+        Payload::SpanEnd { name, elapsed_us } => {
+            format!("◀ {name} ({:.3} ms)", *elapsed_us as f64 / 1000.0)
+        }
+        Payload::HttpRequest {
+            request_id,
+            method,
+            path,
+        } => format!("http {method} {path} [request_id={request_id}]"),
+        Payload::HttpResponse {
+            request_id,
+            route,
+            status,
+        } => format!("http → {status} route={route} [request_id={request_id}]"),
+        Payload::SourceAttempt {
+            source,
+            attempt,
+            outcome,
+            wait_ms,
+            backoff_ms,
+            breaker,
+        } => {
+            let backoff = if *backoff_ms > 0 {
+                format!(", backoff {backoff_ms}ms")
+            } else {
+                String::new()
+            };
+            format!(
+                "source {source} attempt #{attempt}: {outcome} ({wait_ms}ms, breaker {breaker}{backoff})"
+            )
+        }
+        Payload::BreakerTransition { source, from, to } => {
+            format!("breaker {source}: {from} → {to}")
+        }
+        Payload::SourceSkipped { source, reason } => {
+            format!("source {source} skipped: {reason}")
+        }
+        Payload::QueryDegraded { skipped } => {
+            format!("degraded answer: {skipped} source skip(s)")
+        }
+        Payload::Feedback { link, positive } => {
+            let verdict = if *positive { "approved" } else { "rejected" };
+            format!("feedback: {verdict} {}", link.replace('\t', " ≡ "))
+        }
+        Payload::Decision {
+            state,
+            epsilon,
+            explored,
+            chosen,
+            greedy,
+            q,
+            q_defined,
+            observations,
+            actions,
+            space,
+        } => {
+            let how = if *explored { "explore" } else { "exploit" };
+            let qs = if *q_defined {
+                format!("{q:.4} ({observations} obs)")
+            } else {
+                "undefined".to_string()
+            };
+            let alt = if greedy.is_empty() {
+                "none".to_string()
+            } else {
+                greedy.replace('\t', "×")
+            };
+            format!(
+                "decision at {}: ε={epsilon} → {how}, chose {} (Q={qs}, greedy={alt}, |A|={actions}, space={space})",
+                state.replace('\t', " ≡ "),
+                chosen.replace('\t', "×"),
+            )
+        }
+        Payload::LinkAdded {
+            link,
+            state: _,
+            feature,
+            score,
+        } => format!(
+            "+ link {} via {} (score {score:.3})",
+            link.replace('\t', " ≡ "),
+            feature.replace('\t', "×")
+        ),
+        Payload::LinkRemoved { link, reason } => {
+            format!("- link {} ({reason})", link.replace('\t', " ≡ "))
+        }
+        Payload::Rollback {
+            state,
+            feature,
+            removed,
+        } => format!(
+            "rollback at {} of {}: removed {removed} link(s)",
+            state.replace('\t', " ≡ "),
+            feature.replace('\t', "×")
+        ),
+        Payload::EpisodeEnd {
+            partition,
+            feedback,
+            added,
+            removed,
+        } => format!(
+            "episode end (partition {partition}): {feedback} feedback, +{added}/-{removed} links"
+        ),
+        Payload::Message { level, text } => format!("[{level}] {text}"),
+    }
+}
+
+/// Renders events (typically one trace) as an indented tree: spans nest by
+/// parent id, events sit under the span that emitted them. Events outside
+/// any span print at the root. The input need not be sorted.
+pub fn render_tree(events: &[Event]) -> String {
+    let mut events: Vec<&Event> = events.iter().collect();
+    events.sort_by_key(|e| e.seq);
+
+    // Depth of each span = 1 + depth of its parent.
+    let mut depth: HashMap<u64, usize> = HashMap::new();
+    for e in &events {
+        if let Payload::SpanStart { .. } = e.payload {
+            let d = depth.get(&e.parent).copied().unwrap_or(0) + 1;
+            depth.insert(e.span, d);
+        }
+    }
+
+    let mut out = String::new();
+    for e in events {
+        let d = match e.payload {
+            // Span boundaries print at the span's own depth − 1.
+            Payload::SpanStart { .. } | Payload::SpanEnd { .. } => {
+                depth.get(&e.span).copied().unwrap_or(1) - 1
+            }
+            _ => depth.get(&e.span).copied().unwrap_or(0),
+        };
+        let _ = writeln!(
+            out,
+            "{:>9.3}ms {}{}",
+            e.ts_us as f64 / 1000.0,
+            "  ".repeat(d),
+            one_line(e)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_nests_spans_and_inlines_events() {
+        let events = vec![
+            Event {
+                seq: 1,
+                ts_us: 0,
+                trace: 1,
+                span: 10,
+                parent: 0,
+                payload: Payload::SpanStart {
+                    name: "http.request".into(),
+                },
+            },
+            Event {
+                seq: 2,
+                ts_us: 5,
+                trace: 1,
+                span: 11,
+                parent: 10,
+                payload: Payload::SpanStart {
+                    name: "query.federated".into(),
+                },
+            },
+            Event {
+                seq: 3,
+                ts_us: 9,
+                trace: 1,
+                span: 11,
+                parent: 0,
+                payload: Payload::SourceAttempt {
+                    source: "s0".into(),
+                    attempt: 1,
+                    outcome: "ok".into(),
+                    wait_ms: 3,
+                    backoff_ms: 0,
+                    breaker: "closed".into(),
+                },
+            },
+            Event {
+                seq: 4,
+                ts_us: 12,
+                trace: 1,
+                span: 11,
+                parent: 10,
+                payload: Payload::SpanEnd {
+                    name: "query.federated".into(),
+                    elapsed_us: 7,
+                },
+            },
+            Event {
+                seq: 5,
+                ts_us: 14,
+                trace: 1,
+                span: 10,
+                parent: 0,
+                payload: Payload::SpanEnd {
+                    name: "http.request".into(),
+                    elapsed_us: 14,
+                },
+            },
+        ];
+        let text = render_tree(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains("▶ http.request"));
+        // The child span is indented one level deeper than the root.
+        let indent = |l: &str| l.chars().skip_while(|c| *c != ' ').count();
+        assert!(lines[1].contains("▶ query.federated"));
+        assert!(indent(lines[1]) < indent(lines[0]) || lines[1].contains("  ▶"));
+        assert!(lines[2].contains("source s0 attempt #1: ok"));
+        assert!(lines[4].contains("◀ http.request"));
+    }
+}

@@ -260,8 +260,10 @@ fn figure1_loop_over_tcp_query_feedback_link_change() {
         text.contains("alex_http_requests_total{route=\"/sessions/{id}/query\",status=\"200\"} 2"),
         "{text}"
     );
-    assert!(text
-        .contains("alex_http_request_seconds{route=\"/sessions/{id}/query\",quantile=\"0.99\"}"));
+    assert!(text.contains(
+        "alex_http_request_seconds_bucket{route=\"/sessions/{id}/query\",le=\"+Inf\"} 2"
+    ));
+    assert!(text.contains("alex_http_request_seconds_count{route=\"/sessions/{id}/query\"} 2"));
     assert!(text.contains("alex_connections_total"));
 
     server.shutdown();
