@@ -126,6 +126,7 @@ fn main() {
         queue_depth: arg("--queue-depth", 64),
         request_timeout: Duration::from_secs(10),
         state_dir: None,
+        durability: Default::default(),
     };
     println!(
         "serve_throughput: {threads} client threads x {seconds}s against {} workers, queue {}",

@@ -240,9 +240,120 @@ fn print_resilience_summary(report: &QueryReport) {
     }
 }
 
+/// `alex compact <dataset> <out.alexdb>` — convert a text RDF file into
+/// the checksummed binary snapshot format once, so later loads skip the
+/// parser. The written file is read back and fingerprint-verified before
+/// the command reports success.
+pub fn compact(args: &[String]) -> Result<(), String> {
+    use alex_core::store::{read_store_file, store_fingerprint, write_store_file};
+
+    let pos = positionals(args);
+    let [input, output] = pos.as_slice() else {
+        return Err("compact takes an input dataset and an output file".into());
+    };
+    if !output.ends_with(".alexdb") {
+        return Err(format!(
+            "output must end in .alexdb (got {output:?}) — the extension is how loaders \
+             recognize the binary format"
+        ));
+    }
+
+    let interner = Interner::new_shared();
+    let parse_started = std::time::Instant::now();
+    let store = load_store(input, &interner)?;
+    let parse_seconds = parse_started.elapsed().as_secs_f64();
+    write_store_file(std::path::Path::new(output), &store)
+        .map_err(|e| format!("writing {output}: {e}"))?;
+
+    // Trust nothing: read the file back through the decoder and require
+    // the exact same content before declaring the conversion good.
+    let verify_interner = Interner::new_shared();
+    let load_started = std::time::Instant::now();
+    let back = read_store_file(std::path::Path::new(output), &verify_interner)
+        .map_err(|e| format!("verifying {output}: {e}"))?;
+    let load_seconds = load_started.elapsed().as_secs_f64();
+    if store_fingerprint(&store) != store_fingerprint(&back) {
+        return Err(format!(
+            "verification failed: {output} does not decode to the same store as {input}"
+        ));
+    }
+
+    let bytes = std::fs::metadata(output).map_err(|e| e.to_string())?.len();
+    eprintln!(
+        "compacted {input} ({} triples) → {output} ({bytes} bytes)",
+        store.len()
+    );
+    eprintln!(
+        "text parse {parse_seconds:.3}s, binary load {load_seconds:.3}s{}",
+        if load_seconds > 0.0 && parse_seconds > load_seconds {
+            format!(" ({:.1}× faster)", parse_seconds / load_seconds)
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
+/// `alex recover --state-dir DIR` — replay every session found in a
+/// serve state directory and print a per-session recovery report without
+/// starting a server. Useful after a crash to see what a restart would
+/// restore (the replay also repairs torn WAL tails in place, exactly as
+/// boot recovery does).
+pub fn recover(args: &[String]) -> Result<(), String> {
+    use alex_core::store::WalOptions;
+
+    let dir = flag_value(args, "--state-dir").ok_or("recover needs --state-dir DIR")?;
+    let root = std::path::Path::new(&dir);
+    if !root.exists() {
+        return Err(format!("state directory {dir} does not exist"));
+    }
+    let outcome = alex_core::recover_state_dir(root, WalOptions::default(), 0)
+        .map_err(|e| format!("scanning {dir}: {e}"))?;
+
+    if outcome.sessions.is_empty() && outcome.failures.is_empty() {
+        println!("no durable sessions found in {dir}");
+        return Ok(());
+    }
+    for recovered in &outcome.sessions {
+        let r = &recovered.report;
+        println!("session {}", r.id);
+        println!("  checkpoint covers WAL seq ≤ {}", r.checkpoint_seq);
+        println!(
+            "  replayed {} record(s), skipped {} already-checkpointed",
+            r.replayed_records, r.skipped_records
+        );
+        if r.truncated_bytes > 0 || r.dropped_segments > 0 {
+            println!(
+                "  repaired damage: {} torn byte(s) truncated, {} segment(s) dropped ({})",
+                r.truncated_bytes,
+                r.dropped_segments,
+                r.damage.as_deref().unwrap_or("unspecified")
+            );
+        }
+        println!(
+            "  state: {} episode(s), {} feedback item(s), {} candidate link(s)",
+            r.episodes, r.feedback_items, r.candidates
+        );
+        if r.policy_mismatch {
+            println!("  WARNING: policy cross-check failed (RNG stream diverged on replay)");
+        }
+    }
+    for (id, why) in &outcome.failures {
+        println!("session {id}: NOT RECOVERABLE — {why}");
+    }
+    println!(
+        "{} session(s) recoverable, {} not",
+        outcome.sessions.len(),
+        outcome.failures.len()
+    );
+    Ok(())
+}
+
 /// `alex serve [--addr A] [--workers N] [--queue-depth N]
-/// [--request-timeout SECS] [--state-dir DIR]` — run the HTTP curation
-/// server until SIGINT/SIGTERM, then drain and snapshot sessions.
+/// [--request-timeout SECS] [--state-dir DIR] [--wal] [--fsync POLICY]
+/// [--fsync-every-n N] [--wal-segment-bytes N] [--compact-after N]` —
+/// run the HTTP curation server until SIGINT/SIGTERM, then drain and
+/// snapshot sessions.
 pub fn serve(args: &[String]) -> Result<(), String> {
     let parse_usize = |flag: &str, default: usize| -> Result<usize, String> {
         flag_value(args, flag)
@@ -266,6 +377,35 @@ pub fn serve(args: &[String]) -> Result<(), String> {
                 .unwrap_or(10.0),
         ),
         state_dir: flag_value(args, "--state-dir").map(std::path::PathBuf::from),
+        durability: {
+            let mut d = alex_core::DurabilityConfig {
+                wal: args.iter().any(|a| a == "--wal"),
+                ..Default::default()
+            };
+            if let Some(v) = flag_value(args, "--fsync") {
+                d.fsync = v;
+            }
+            if let Some(v) = flag_value(args, "--fsync-every-n") {
+                d.fsync_every_n = v
+                    .parse()
+                    .map_err(|_| "--fsync-every-n must be an integer".to_string())?;
+            }
+            if let Some(v) = flag_value(args, "--wal-segment-bytes") {
+                d.segment_bytes = v
+                    .parse()
+                    .map_err(|_| "--wal-segment-bytes must be an integer".to_string())?;
+            }
+            if let Some(v) = flag_value(args, "--compact-after") {
+                d.compact_after_records = v
+                    .parse()
+                    .map_err(|_| "--compact-after must be an integer".to_string())?;
+            }
+            d.validate()?;
+            if d.wal && flag_value(args, "--state-dir").is_none() {
+                return Err("--wal requires --state-dir (the WAL lives there)".into());
+            }
+            d
+        },
     };
     let workers = cfg.workers;
     let queue_depth = cfg.queue_depth;

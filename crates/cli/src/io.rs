@@ -6,14 +6,20 @@ use std::sync::Arc;
 use alex_rdf::{ntriples, turtle, Interner, Link, Store};
 
 /// Loads an RDF file into a store sharing `interner`, dispatching on the
-/// file extension (`.nt` → N-Triples, `.ttl`/`.turtle` → Turtle).
+/// file extension (`.nt` → N-Triples, `.ttl`/`.turtle` → Turtle,
+/// `.alexdb` → the binary snapshot format written by `alex compact`,
+/// which skips text parsing entirely).
 pub fn load_store(path: &str, interner: &Arc<Interner>) -> Result<Store, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let mut store = Store::new(Arc::clone(interner));
     let ext = Path::new(path)
         .extension()
         .and_then(|e| e.to_str())
         .unwrap_or("");
+    if ext == "alexdb" {
+        return alex_core::store::read_store_file(Path::new(path), interner)
+            .map_err(|e| format!("reading {path}: {e}"));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut store = Store::new(Arc::clone(interner));
     match ext {
         "ttl" | "turtle" => {
             turtle::read_str(&text, &mut store).map_err(|e| format!("parsing {path}: {e}"))?;

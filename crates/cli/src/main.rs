@@ -32,11 +32,16 @@ USAGE:
                 [--session FILE] [--out FILE]
     alex serve  [--addr HOST:PORT] [--workers N] [--queue-depth N]
                 [--request-timeout SECS] [--state-dir DIR]
+                [--wal] [--fsync always|every_n|os] [--fsync-every-n N]
+                [--wal-segment-bytes N] [--compact-after N]
+    alex compact <DATASET> <OUT.alexdb>
+    alex recover --state-dir DIR
     alex trace  --input events.jsonl
     alex trace  --explain <link-substring|auto> [--scale S] [--seed N]
                 [--episodes N]
 
-FILES:    .nt (N-Triples) or .ttl (Turtle), by extension.
+FILES:    .nt (N-Triples), .ttl (Turtle), or .alexdb (binary snapshot,
+          written by `alex compact`), by extension.
 TRACING:  every command honors ALEX_TRACE=off|ring|jsonl:<path>
           (plus ALEX_TRACE_SAMPLE and ALEX_TRACE_RING).
 
@@ -58,6 +63,18 @@ COMMANDS:
              when ALEX_TRACE is on — /debug/trace/{request_id} and
              /debug/events). Ctrl-C drains in-flight requests and, with
              --state-dir, saves every session as a restorable snapshot.
+             --wal turns on per-session write-ahead logging: every
+             mutation is logged (and fsynced per --fsync) before it is
+             acknowledged, sessions are checkpointed every
+             --compact-after records, and a restart replays the WALs so
+             no acknowledged feedback is ever lost — even after SIGKILL.
+    compact  Convert a text RDF dataset to the checksummed binary
+             .alexdb snapshot once; later loads of the .alexdb skip the
+             text parser entirely. Verifies the round trip before
+             reporting success.
+    recover  Replay the durable sessions in a serve --state-dir and
+             print what a restart would restore (repairing torn WAL
+             tails in place), without starting a server.
     trace    Inspect flight-recorder output: pretty-print a JSONL event
              log as a span tree (--input), or run a generated scenario
              and replay the decision audit trail that produced one link
@@ -82,6 +99,8 @@ fn main() -> ExitCode {
         "query" => commands::query(rest),
         "curate" => commands::curate(rest),
         "serve" => commands::serve(rest),
+        "compact" => commands::compact(rest),
+        "recover" => commands::recover(rest),
         "trace" => trace_cmd::run(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());

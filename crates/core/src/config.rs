@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use alex_query::FederationConfig;
 use alex_sim::SimConfig;
+use alex_store::{SyncPolicy, WalOptions};
 use alex_trace::{TraceMode, TraceSettings, DEFAULT_RING_CAPACITY};
 
 /// Tracing configuration (see [`crate::trace`]): where events go, how
@@ -65,6 +66,77 @@ impl TraceConfig {
         } else {
             alex_trace::configure(&self.to_settings()?)
         }
+    }
+}
+
+/// Durability configuration (see [`crate::durability`]): whether sessions
+/// keep a write-ahead log, how eagerly it reaches the disk platter, when
+/// segments rotate, and when compaction folds the log into a checkpoint.
+/// Off by default — configs written before durability existed load
+/// unchanged and behave exactly as they did.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct DurabilityConfig {
+    /// Whether mutations are logged to a per-session WAL at all.
+    pub wal: bool,
+    /// Fsync policy: `always` (sync every append batch), `every_n` (sync
+    /// after every `fsync_every_n` batches), or `os` (leave flushing to
+    /// the operating system's page cache).
+    pub fsync: String,
+    /// Batch interval for the `every_n` policy; ignored otherwise.
+    pub fsync_every_n: u32,
+    /// Segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+    /// Fold the WAL into a fresh checkpoint after this many records have
+    /// accumulated since the last one (`0` disables compaction).
+    pub compact_after_records: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        Self {
+            wal: false,
+            fsync: "always".into(),
+            fsync_every_n: 8,
+            segment_bytes: 1 << 20,
+            compact_after_records: 4096,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Converts to runtime [`WalOptions`], validating the policy string.
+    pub fn to_options(&self) -> Result<WalOptions, String> {
+        let sync = match self.fsync.as_str() {
+            "always" => SyncPolicy::Always,
+            "every_n" => {
+                if self.fsync_every_n == 0 {
+                    return Err("durability fsync_every_n must be positive".into());
+                }
+                SyncPolicy::EveryN(self.fsync_every_n)
+            }
+            "os" => SyncPolicy::Os,
+            other => {
+                return Err(format!(
+                    "durability fsync must be `always`, `every_n`, or `os`, got `{other}`"
+                ))
+            }
+        };
+        if self.segment_bytes < 4096 {
+            return Err(format!(
+                "durability segment_bytes must be at least 4096, got {}",
+                self.segment_bytes
+            ));
+        }
+        Ok(WalOptions {
+            sync,
+            segment_bytes: self.segment_bytes,
+        })
+    }
+
+    /// Validates without building options.
+    pub fn validate(&self) -> Result<(), String> {
+        self.to_options().map(|_| ())
     }
 }
 
@@ -137,6 +209,9 @@ pub struct AlexConfig {
     /// Structured-tracing configuration (off by default; tracing never
     /// changes link-quality output, only records it).
     pub trace: TraceConfig,
+    /// Durability configuration (off by default; when enabled, sessions
+    /// log every mutation to a write-ahead log before acknowledging it).
+    pub durability: DurabilityConfig,
 }
 
 impl Default for AlexConfig {
@@ -161,6 +236,7 @@ impl Default for AlexConfig {
             seed: 0x5EED_A1EC,
             federation: FederationConfig::default(),
             trace: TraceConfig::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -211,6 +287,7 @@ impl AlexConfig {
         }
         self.federation.validate()?;
         self.trace.validate()?;
+        self.durability.validate()?;
         Ok(())
     }
 }
@@ -328,6 +405,58 @@ mod tests {
         let back: AlexConfig = serde_json::from_str(r#"{"episode_size": 7}"#).unwrap();
         assert_eq!(back.trace, TraceConfig::default());
         assert_eq!(back.trace.mode, "off");
+    }
+
+    #[test]
+    fn configs_without_durability_knobs_get_defaults() {
+        // Snapshots written before the storage engine existed must load
+        // with durability off.
+        let back: AlexConfig = serde_json::from_str(r#"{"episode_size": 7}"#).unwrap();
+        assert_eq!(back.durability, DurabilityConfig::default());
+        assert!(!back.durability.wal);
+    }
+
+    #[test]
+    fn durability_config_round_trips_and_validates() {
+        let c = AlexConfig {
+            durability: DurabilityConfig {
+                wal: true,
+                fsync: "every_n".into(),
+                fsync_every_n: 4,
+                segment_bytes: 1 << 16,
+                compact_after_records: 100,
+            },
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
+        let json = serde_json::to_string(&c).unwrap();
+        let back: AlexConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.durability, c.durability);
+        let opts = back.durability.to_options().unwrap();
+        assert_eq!(opts.sync, SyncPolicy::EveryN(4));
+        assert_eq!(opts.segment_bytes, 1 << 16);
+
+        for bad in [
+            DurabilityConfig {
+                fsync: "sometimes".into(),
+                ..Default::default()
+            },
+            DurabilityConfig {
+                fsync: "every_n".into(),
+                fsync_every_n: 0,
+                ..Default::default()
+            },
+            DurabilityConfig {
+                segment_bytes: 16,
+                ..Default::default()
+            },
+        ] {
+            let c = AlexConfig {
+                durability: bad,
+                ..Default::default()
+            };
+            assert!(c.validate().is_err());
+        }
     }
 
     #[test]

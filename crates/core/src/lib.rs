@@ -63,6 +63,7 @@
 mod candidates;
 mod config;
 mod driver;
+pub mod durability;
 mod engine;
 mod feature;
 mod metrics;
@@ -78,9 +79,17 @@ pub mod telemetry;
 /// JSON-lines exporter (the `alex-trace` crate, re-exported).
 pub use alex_trace as trace;
 
+/// Durable storage primitives: the write-ahead log and the binary
+/// triple-store snapshot codec (the `alex-store` crate, re-exported).
+pub use alex_store as store;
+
 pub use candidates::CandidateSet;
-pub use config::{AlexConfig, TraceConfig};
+pub use config::{AlexConfig, DurabilityConfig, TraceConfig};
 pub use driver::{AlexDriver, RunOutcome, SpaceBuildStats};
+pub use durability::{
+    recover_session, recover_state_dir, session_dir, validate_session_id, write_atomic,
+    DurableSession, RecoveredSession, RecoveryOutcome, SessionRecoveryReport,
+};
 pub use engine::{EngineDiagnostics, PartitionEngine, PartitionEpisodeStats};
 pub use feature::{Feature, FeatureKey, FeatureSet};
 pub use metrics::{EpisodeReport, Quality};

@@ -81,10 +81,23 @@ pub struct SessionSnapshot {
     /// Skipped-source incidents across those degraded queries.
     #[serde(default)]
     pub source_skips: u64,
+    /// Feedback episodes the session has completed (since version 3).
+    #[serde(default)]
+    pub episodes: u64,
+    /// Total feedback items processed across episodes (since version 3).
+    #[serde(default)]
+    pub feedback_items: u64,
+    /// The highest WAL sequence number this snapshot covers (since
+    /// version 3). Recovery replays only records *after* this point; `0`
+    /// means the snapshot predates the WAL or the session has no log.
+    #[serde(default)]
+    pub applied_wal_seq: u64,
 }
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// Current snapshot format version. Version 3 added the episode counters
+/// and the WAL high-water mark; version-2 (and version-1) files still
+/// load, with those fields defaulting to zero.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Errors restoring a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -204,6 +217,9 @@ impl SessionSnapshot {
             policy,
             degraded_queries: 0,
             source_skips: 0,
+            episodes: 0,
+            feedback_items: 0,
+            applied_wal_seq: 0,
         }
     }
 
@@ -316,19 +332,23 @@ impl LiveSession {
     }
 
     /// Captures a persistable snapshot of the current curation state,
-    /// including the degraded-answer counters.
+    /// including the degraded-answer and episode counters.
     pub fn snapshot(&self) -> SessionSnapshot {
         let mut snap = SessionSnapshot::capture(&self.driver, &self.left, &self.right);
         snap.degraded_queries = self.degraded_queries;
         snap.source_skips = self.source_skips;
+        snap.episodes = self.episodes;
+        snap.feedback_items = self.feedback_items;
         snap
     }
 
-    /// Restores the degraded-answer counters from a snapshot (the driver
+    /// Restores the bookkeeping counters from a snapshot (the driver
     /// itself is restored via [`SessionSnapshot::restore`]).
     pub fn restore_counters(&mut self, snap: &SessionSnapshot) {
         self.degraded_queries = snap.degraded_queries;
         self.source_skips = snap.source_skips;
+        self.episodes = snap.episodes;
+        self.feedback_items = snap.feedback_items;
     }
 }
 
@@ -536,6 +556,45 @@ mod tests {
     }
 
     #[test]
+    fn episode_counters_and_wal_mark_round_trip() {
+        let (left, right, truth) = world();
+        let initial: Vec<Link> = truth.iter().take(2).copied().collect();
+        let driver = AlexDriver::new(&left, &right, &initial, small_cfg()).unwrap();
+        let mut session = LiveSession::new(left, right, driver);
+        session.episodes = 4;
+        session.feedback_items = 80;
+
+        let mut snap = session.snapshot();
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        assert_eq!(snap.episodes, 4);
+        assert_eq!(snap.feedback_items, 80);
+        snap.applied_wal_seq = 123;
+        let back = SessionSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back.applied_wal_seq, 123);
+
+        let driver2 = back.restore(&session.left, &session.right).unwrap();
+        let mut resumed = LiveSession::new(session.left, session.right, driver2);
+        resumed.restore_counters(&back);
+        assert_eq!(resumed.episodes, 4);
+        assert_eq!(resumed.feedback_items, 80);
+
+        // Version-2 files (no episode counters) load with zeros.
+        let mut value = serde_json::to_value(&snap).unwrap();
+        let serde::Value::Object(fields) = &mut value else {
+            panic!("snapshot serializes as an object");
+        };
+        fields.retain(|(k, _)| {
+            !matches!(
+                k.as_str(),
+                "episodes" | "feedback_items" | "applied_wal_seq"
+            )
+        });
+        let v2 = SessionSnapshot::from_json(&value.to_json_string(true)).unwrap();
+        assert_eq!(v2.episodes, 0);
+        assert_eq!(v2.applied_wal_seq, 0);
+    }
+
+    #[test]
     fn session_handle_interleaves_readers_and_feedback() {
         let (left, right, truth) = world();
         let initial: Vec<Link> = truth.iter().take(4).copied().collect();
@@ -578,11 +637,12 @@ mod tests {
         let g = handle.read();
         assert_eq!(g.episodes, 1);
         assert!(!g.driver.candidate_links().contains(&wrong));
-        // The snapshot captured through the handle matches a direct capture.
-        assert_eq!(
-            g.snapshot(),
-            SessionSnapshot::capture(&g.driver, &g.left, &g.right)
-        );
+        // The snapshot captured through the handle matches a direct capture
+        // plus the session's own bookkeeping counters.
+        let mut direct = SessionSnapshot::capture(&g.driver, &g.left, &g.right);
+        direct.episodes = g.episodes;
+        direct.feedback_items = g.feedback_items;
+        assert_eq!(g.snapshot(), direct);
     }
 
     #[test]

@@ -37,6 +37,21 @@ pub const QUERY_SOURCE_BREAKER_OPEN_TOTAL: &str = "alex_query_source_breaker_ope
 /// answer set because at least one source was skipped.
 pub const QUERY_DEGRADED_TOTAL: &str = "alex_queries_degraded_total";
 
+/// Counter name: records appended to session write-ahead logs.
+pub const WAL_APPENDS_TOTAL: &str = "alex_wal_appends_total";
+
+/// Counter name: `fsync` calls issued by session write-ahead logs.
+pub const WAL_FSYNCS_TOTAL: &str = "alex_wal_fsyncs_total";
+
+/// Counter name: frame bytes written to session write-ahead logs.
+pub const WAL_BYTES_TOTAL: &str = "alex_wal_bytes_total";
+
+/// Counter name: sessions recovered from disk at boot.
+pub const RECOVERIES_TOTAL: &str = "alex_recoveries_total";
+
+/// Counter name: WAL records replayed into recovered sessions at boot.
+pub const RECOVERED_RECORDS_TOTAL: &str = "alex_recovered_records_total";
+
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);

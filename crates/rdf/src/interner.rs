@@ -5,11 +5,12 @@
 //! linking task. Interned ids are dense `u32`s, which makes them cheap hash
 //! keys and lets downstream crates use them as indices into side tables.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+
+use crate::hash::FastMap;
 
 /// Identifier of an interned string (IRI text or string-literal value).
 ///
@@ -34,8 +35,24 @@ impl fmt::Debug for StrId {
 
 #[derive(Default)]
 struct Inner {
-    map: HashMap<Arc<str>, StrId>,
+    map: FastMap<Arc<str>, StrId>,
     strings: Vec<Arc<str>>,
+}
+
+impl Inner {
+    fn intern(&mut self, s: &str) -> StrId {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = StrId(
+            u32::try_from(self.strings.len())
+                .expect("interner overflow: more than u32::MAX strings"),
+        );
+        let arc: Arc<str> = Arc::from(s);
+        self.strings.push(Arc::clone(&arc));
+        self.map.insert(arc, id);
+        id
+    }
 }
 
 /// A thread-safe append-only string interner.
@@ -79,18 +96,22 @@ impl Interner {
         if let Some(&id) = self.inner.read().map.get(s) {
             return id;
         }
+        // The write path re-checks under the exclusive lock in case another
+        // writer interned `s` between our read and write acquisitions.
+        self.inner.write().intern(s)
+    }
+
+    /// Interns a batch of strings under one lock acquisition, returning
+    /// their ids in input order. Equivalent to calling [`Interner::intern`]
+    /// per string but skips the per-call read-then-write lock dance, which
+    /// matters when loading a snapshot dictionary of thousands of strings.
+    pub fn intern_all<'a>(&self, strings: impl IntoIterator<Item = &'a str>) -> Vec<StrId> {
+        let iter = strings.into_iter();
         let mut inner = self.inner.write();
-        if let Some(&id) = inner.map.get(s) {
-            return id; // raced with another writer
-        }
-        let id = StrId(
-            u32::try_from(inner.strings.len())
-                .expect("interner overflow: more than u32::MAX strings"),
-        );
-        let arc: Arc<str> = Arc::from(s);
-        inner.strings.push(Arc::clone(&arc));
-        inner.map.insert(arc, id);
-        id
+        let (low, _) = iter.size_hint();
+        inner.map.reserve(low);
+        inner.strings.reserve(low);
+        iter.map(|s| inner.intern(s)).collect()
     }
 
     /// Returns the id of `s` if it was interned before, without interning.
@@ -159,6 +180,19 @@ mod tests {
             assert_eq!(id.0, n);
         }
         assert_eq!(i.len(), 100);
+    }
+
+    #[test]
+    fn intern_all_matches_one_at_a_time() {
+        let batch = Interner::new();
+        let single = Interner::new();
+        let inputs = ["a", "b", "a", "", "c", "b"];
+        let ids = batch.intern_all(inputs.iter().copied());
+        let expected: Vec<StrId> = inputs.iter().map(|s| single.intern(s)).collect();
+        assert_eq!(ids, expected);
+        assert_eq!(batch.len(), single.len());
+        // The batch is visible to later singular interns.
+        assert_eq!(batch.intern("a"), ids[0]);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 mod date;
 mod entity;
 mod error;
+pub mod hash;
 mod interner;
 mod link;
 pub mod ntriples;

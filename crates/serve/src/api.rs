@@ -17,15 +17,24 @@
 
 use std::collections::HashSet;
 use std::path::Path;
+use std::sync::Arc;
 
+use alex_core::store::{AppendOutcome, WalRecord};
 use alex_core::trace;
-use alex_core::{AlexConfig, AlexDriver, LiveSession, Quality, SessionHandle};
+use alex_core::{
+    AlexConfig, AlexDriver, DurabilityConfig, DurableSession, LiveSession, Quality, SessionHandle,
+};
 use alex_query::FederatedEngine;
 use alex_rdf::{ntriples, turtle, Interner, Link, Store, Term};
+use parking_lot::Mutex;
 use serde_json::{Number, Value};
 
 use crate::http::{Request, Response};
 use crate::state::{AppState, SessionEntry};
+
+/// The durable-storage slot shared between the session table and the
+/// handlers that log to it. Lock order: session lock, then this mutex.
+type DurableSlot = Arc<Mutex<DurableSession>>;
 
 /// Shorthand for building an object value.
 fn obj(pairs: Vec<(&str, Value)>) -> Value {
@@ -72,14 +81,29 @@ pub fn route(state: &AppState, req: &Request) -> (&'static str, Response) {
     }
 }
 
-/// Looks up a session handle without holding the table lock afterwards.
-fn session_handle(state: &AppState, id: &str) -> Result<SessionHandle, Response> {
+/// Looks up a session handle (and its durable-storage slot, when the
+/// session has one) without holding the table lock afterwards.
+fn session_handle(
+    state: &AppState,
+    id: &str,
+) -> Result<(SessionHandle, Option<DurableSlot>), Response> {
     state
         .sessions
         .read()
         .get(id)
-        .map(|e| e.handle.clone())
+        .map(|e| (e.handle.clone(), e.durable.clone()))
         .ok_or_else(|| Response::error(404, format!("no session {id:?}")))
+}
+
+/// Folds one append's outcome into the process-wide WAL counters.
+fn record_wal_metrics(state: &AppState, out: &AppendOutcome, records: u64) {
+    use alex_core::telemetry::{WAL_APPENDS_TOTAL, WAL_BYTES_TOTAL, WAL_FSYNCS_TOTAL};
+    state.metrics.counter(WAL_APPENDS_TOTAL).add(records);
+    state.metrics.counter(WAL_BYTES_TOTAL).add(out.bytes);
+    state
+        .metrics
+        .counter(WAL_FSYNCS_TOTAL)
+        .add(u64::from(out.synced));
 }
 
 /// Loads one dataset from either an inline N-Triples string or a file
@@ -132,9 +156,14 @@ fn parse_link_array(items: &[Value], left: &Store, right: &Store) -> Result<Vec<
         .collect()
 }
 
-/// Applies recognized `config` overrides on top of the defaults.
-fn parse_config(body: &Value) -> Result<AlexConfig, String> {
-    let mut cfg = AlexConfig::default();
+/// Applies recognized `config` overrides on top of the defaults. The
+/// session starts from the server's durability defaults; a
+/// `config.durability` object overrides them per session.
+fn parse_config(body: &Value, durability: &DurabilityConfig) -> Result<AlexConfig, String> {
+    let mut cfg = AlexConfig {
+        durability: durability.clone(),
+        ..AlexConfig::default()
+    };
     let Some(overrides) = body.get("config") else {
         return Ok(cfg);
     };
@@ -159,6 +188,13 @@ fn parse_config(body: &Value) -> Result<AlexConfig, String> {
             "step_size" => cfg.step_size = value.as_f64().ok_or_else(|| bad("a number"))?,
             "blacklist_threshold" => {
                 cfg.blacklist_threshold = value.as_u64().ok_or_else(|| bad("an integer"))? as usize
+            }
+            "durability" => {
+                cfg.durability = serde_json::from_value(value.clone())
+                    .map_err(|e| format!("config.durability: {e}"))?;
+                cfg.durability
+                    .validate()
+                    .map_err(|e| format!("config.durability: {e}"))?;
             }
             other => return Err(format!("unknown config key {other:?}")),
         }
@@ -203,10 +239,11 @@ fn create_session(state: &AppState, req: &Request) -> Response {
         },
         None => None,
     };
-    let cfg = match parse_config(&body) {
+    let cfg = match parse_config(&body, &state.durability) {
         Ok(cfg) => cfg,
         Err(e) => return Response::error(400, e),
     };
+    let durability = cfg.durability.clone();
 
     let driver = match AlexDriver::new(&left, &right, &links, cfg) {
         Ok(d) => d,
@@ -234,12 +271,54 @@ fn create_session(state: &AppState, req: &Request) -> Response {
         .counter("alex_sim_cache_misses_total")
         .add(build.cache.misses);
 
-    let handle = SessionHandle::new(LiveSession::new(left, right, driver));
+    let session = LiveSession::new(left, right, driver);
+
+    // Durability: lay down the session's on-disk state (dataset
+    // snapshots + initial checkpoint + empty WAL) *before* acknowledging
+    // the session — a crash after the 201 must be able to bring it back.
+    let durable = if durability.wal {
+        let Some(dir) = &state.state_dir else {
+            return Response::error(
+                400,
+                "durability.wal requires the server to run with a state directory",
+            );
+        };
+        let opts = match durability.to_options() {
+            Ok(o) => o,
+            Err(e) => return Response::error(400, format!("config.durability: {e}")),
+        };
+        let mut durable = match DurableSession::create(
+            dir,
+            &id,
+            &session,
+            opts,
+            durability.compact_after_records,
+        ) {
+            Ok(d) => d,
+            Err(e) => {
+                return Response::error(500, format!("creating durable session storage: {e}"))
+            }
+        };
+        let mut snap = session.snapshot();
+        if let Err(e) = durable.checkpoint(&mut snap) {
+            return Response::error(500, format!("writing initial checkpoint: {e}"));
+        }
+        Some(Arc::new(Mutex::new(durable)))
+    } else {
+        None
+    };
+    let durable_on = durable.is_some();
+
+    let handle = SessionHandle::new(session);
     update_session_gauges(state, &id, &handle, truth.as_ref());
-    state
-        .sessions
-        .write()
-        .insert(id.clone(), SessionEntry { handle, truth });
+    state.sessions.write().insert(
+        id.clone(),
+        SessionEntry {
+            handle,
+            truth,
+            durable,
+        },
+    );
     state.metrics.counter("alex_sessions_created_total").inc();
     state
         .metrics
@@ -253,13 +332,14 @@ fn create_session(state: &AppState, req: &Request) -> Response {
             ("candidates", num(candidates)),
             ("left_triples", num(left_triples)),
             ("right_triples", num(right_triples)),
+            ("durable", Value::Bool(durable_on)),
         ]),
     )
 }
 
 /// Refreshes the per-session gauges (and quality gauges when ground
-/// truth is known).
-fn update_session_gauges(
+/// truth is known). Also called by boot recovery in `server.rs`.
+pub(crate) fn update_session_gauges(
     state: &AppState,
     id: &str,
     handle: &SessionHandle,
@@ -293,10 +373,11 @@ fn update_session_gauges(
 
 /// `GET /sessions/{id}` — summary.
 fn session_info(state: &AppState, id: &str) -> Response {
-    let handle = match session_handle(state, id) {
+    let (handle, durable) = match session_handle(state, id) {
         Ok(h) => h,
         Err(resp) => return resp,
     };
+    let durable_on = durable.is_some();
     let session = handle.read();
     let config = serde_json::to_value(session.driver.config()).unwrap_or(Value::Null);
     Response::json(
@@ -311,6 +392,7 @@ fn session_info(state: &AppState, id: &str) -> Response {
             ),
             ("left_triples", num(session.left.len())),
             ("right_triples", num(session.right.len())),
+            ("durable", Value::Bool(durable_on)),
             ("config", config),
         ]),
     )
@@ -344,7 +426,7 @@ fn render_link(l: &Link, left: &Store, right: &Store) -> Value {
 /// health: whether the answer set is degraded (sources were skipped) and
 /// per-source retry/timeout/breaker accounting.
 fn query(state: &AppState, id: &str, req: &Request) -> Response {
-    let handle = match session_handle(state, id) {
+    let (handle, durable) = match session_handle(state, id) {
         Ok(h) => h,
         Err(resp) => return resp,
     };
@@ -398,8 +480,22 @@ fn query(state: &AppState, id: &str, req: &Request) -> Response {
     let skipped = report.skipped_sources();
     if report.degraded {
         // Only degraded queries need the write lock; the hot path stays
-        // read-only so concurrent queries don't serialize.
-        handle.write().record_query_outcome(skipped.len());
+        // read-only so concurrent queries don't serialize. The tally is
+        // logged before the counters move (log-before-ack), under the
+        // session lock so the WAL order matches the apply order.
+        let mut session = handle.write();
+        if let Some(durable) = &durable {
+            let record = WalRecord::Degraded {
+                source_skips: skipped.len() as u64,
+            };
+            match durable.lock().log(&[record]) {
+                Ok(out) => record_wal_metrics(state, &out, 1),
+                Err(e) => {
+                    return Response::error(500, format!("write-ahead log append failed: {e}"))
+                }
+            }
+        }
+        session.record_query_outcome(skipped.len());
     }
 
     state.metrics.counter("alex_queries_total").inc();
@@ -477,10 +573,10 @@ fn record_federation_metrics(state: &AppState, report: &alex_query::QueryReport)
 /// `{"items": [{"left": iri, "right": iri, "approve": bool}, ...]}`.
 /// Runs one feedback episode and reports what changed.
 fn feedback(state: &AppState, id: &str, req: &Request) -> Response {
-    let (handle, truth) = {
+    let (handle, truth, durable) = {
         let sessions = state.sessions.read();
         match sessions.get(id) {
-            Some(e) => (e.handle.clone(), e.truth.clone()),
+            Some(e) => (e.handle.clone(), e.truth.clone(), e.durable.clone()),
             None => return Response::error(404, format!("no session {id:?}")),
         }
     };
@@ -521,6 +617,24 @@ fn feedback(state: &AppState, id: &str, req: &Request) -> Response {
         ));
     }
 
+    // Log-before-ack: the whole batch reaches the WAL (per the session's
+    // fsync policy) before any of it mutates the driver. A crash after
+    // this point replays the batch; a crash before it never acked.
+    if let Some(durable) = &durable {
+        let records: Vec<WalRecord> = batch
+            .iter()
+            .map(|&(link, approve)| WalRecord::Feedback {
+                left: session.left.iri_str(link.left).to_string(),
+                right: session.right.iri_str(link.right).to_string(),
+                positive: approve,
+            })
+            .collect();
+        match durable.lock().log(&records) {
+            Ok(out) => record_wal_metrics(state, &out, records.len() as u64),
+            Err(e) => return Response::error(500, format!("write-ahead log append failed: {e}")),
+        }
+    }
+
     let before = session.driver.candidate_links();
     for &(link, approve) in &batch {
         session.driver.process_feedback(link, approve);
@@ -530,6 +644,51 @@ fn feedback(state: &AppState, id: &str, req: &Request) -> Response {
     session.feedback_items += batch.len() as u64;
     let after = session.driver.candidate_links();
     let episodes = session.episodes;
+
+    // Close the episode in the log: an audit trail of what exploration
+    // changed, the episode marker, and a per-partition RNG/Q cross-check
+    // that recovery verifies after replay. Then fold the log into a
+    // fresh checkpoint once enough records have accumulated.
+    if let Some(durable) = &durable {
+        let mut records: Vec<WalRecord> = Vec::new();
+        for link in after.difference(&before) {
+            records.push(WalRecord::LinkAdded {
+                left: session.left.iri_str(link.left).to_string(),
+                right: session.right.iri_str(link.right).to_string(),
+            });
+        }
+        for link in before.difference(&after) {
+            records.push(WalRecord::LinkRemoved {
+                left: session.left.iri_str(link.left).to_string(),
+                right: session.right.iri_str(link.right).to_string(),
+                reason: "episode".to_string(),
+            });
+        }
+        records.push(WalRecord::EpisodeEnd {
+            episode: session.episodes,
+            feedback_items: session.feedback_items,
+        });
+        for (partition, engine) in session.driver.engines().iter().enumerate() {
+            records.push(WalRecord::PolicyDelta {
+                partition: partition as u64,
+                rng: engine.rng_state(),
+                q_entries: engine.q_table().len() as u64,
+            });
+        }
+        let mut durable = durable.lock();
+        match durable.log(&records) {
+            Ok(out) => record_wal_metrics(state, &out, records.len() as u64),
+            Err(e) => return Response::error(500, format!("write-ahead log append failed: {e}")),
+        }
+        if durable.should_compact() {
+            let mut snap = session.snapshot();
+            if let Err(e) = durable.checkpoint(&mut snap) {
+                // Compaction failing is not fatal: the WAL still has
+                // everything, so durability holds — just report it.
+                trace::diag("error", &format!("session {id}: compaction failed: {e}"));
+            }
+        }
+    }
     drop(session);
 
     state
@@ -559,7 +718,7 @@ fn feedback(state: &AppState, id: &str, req: &Request) -> Response {
 /// `GET /sessions/{id}/links` — the current candidate set and blacklist,
 /// as sorted IRI pairs.
 fn links(state: &AppState, id: &str) -> Response {
-    let handle = match session_handle(state, id) {
+    let (handle, _durable) = match session_handle(state, id) {
         Ok(h) => h,
         Err(resp) => return resp,
     };
@@ -837,6 +996,137 @@ mod tests {
         assert!(text.contains("alex_sessions_created_total 1"), "{text}");
         assert!(text.contains("alex_queries_total 1"));
         assert!(text.contains(&format!("alex_session_candidates{{session=\"{id}\"}} 2")));
+    }
+
+    fn temp_state_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("alex-serve-api-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn durable_sessions_survive_a_restart() {
+        use alex_core::store::WalOptions;
+
+        let dir = temp_state_dir("durable");
+        let mut state = AppState::new(Some(dir.clone()));
+        state.durability = DurabilityConfig {
+            wal: true,
+            ..DurabilityConfig::default()
+        };
+
+        let (_, resp) = route(&state, &request("POST", "/sessions", &create_body()));
+        assert_eq!(resp.status, 201, "{}", String::from_utf8_lossy(&resp.body));
+        let v = serde_json::parse_value_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("durable").unwrap().as_bool(), Some(true));
+        let id = v.get("id").unwrap().as_str().unwrap().to_string();
+
+        // One rejected link: the mutation is WAL-logged before it acks.
+        let fb =
+            r#"{"items": [{"left": "http://l/e1", "right": "http://r/e1", "approve": false}]}"#;
+        let (_, resp) = route(
+            &state,
+            &request("POST", &format!("/sessions/{id}/feedback"), fb),
+        );
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+
+        // The WAL counters are moving.
+        let (_, resp) = route(&state, &request("GET", "/metrics", ""));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("alex_wal_appends_total"), "{text}");
+        assert!(!text.contains("alex_wal_appends_total 0"), "{text}");
+        assert!(text.contains("alex_wal_bytes_total"), "{text}");
+
+        let (_, resp) = route(
+            &state,
+            &request("GET", &format!("/sessions/{id}/links"), ""),
+        );
+        let live_links = String::from_utf8(resp.body).unwrap();
+
+        // Simulate a crash: the state is dropped without persist_sessions
+        // ever running. Recovery rebuilds the session from snapshots +
+        // WAL replay, exactly as `Server::start` does at boot.
+        drop(state);
+        let outcome = alex_core::recover_state_dir(&dir, WalOptions::default(), 0).unwrap();
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+        assert_eq!(outcome.sessions.len(), 1);
+        let recovered = outcome.sessions.into_iter().next().unwrap();
+        assert_eq!(recovered.id, id);
+        assert!(recovered.report.replayed_records > 0);
+        assert!(!recovered.report.policy_mismatch);
+        assert_eq!(recovered.session.episodes, 1);
+        assert_eq!(recovered.session.feedback_items, 1);
+
+        // A fresh server serving the recovered session reports the exact
+        // same candidate set and blacklist the crashed one had.
+        let state2 = AppState::new(Some(dir.clone()));
+        state2.advance_ids_past(&recovered.id);
+        state2.sessions.write().insert(
+            recovered.id.clone(),
+            SessionEntry {
+                handle: SessionHandle::new(recovered.session),
+                truth: None,
+                durable: Some(Arc::new(Mutex::new(recovered.durable))),
+            },
+        );
+        let (_, resp) = route(
+            &state2,
+            &request("GET", &format!("/sessions/{id}/links"), ""),
+        );
+        let recovered_links = String::from_utf8(resp.body).unwrap();
+        assert_eq!(live_links, recovered_links);
+        assert_eq!(state2.fresh_id(), "s2", "ids continue past recovered ones");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hostile_session_id_cannot_escape_the_state_dir() {
+        let dir = temp_state_dir("hostile");
+        let state = AppState::new(Some(dir.clone()));
+        let id = created_session(&state);
+        let handle = state.sessions.read()[&id].handle.clone();
+        // The API only ever generates `s{n}` ids, but the filesystem
+        // boundary must hold even if a hostile id reaches the table.
+        state.sessions.write().insert(
+            "../../escape".to_string(),
+            SessionEntry {
+                handle,
+                truth: None,
+                durable: None,
+            },
+        );
+        let results = state.persist_sessions();
+        let errors: Vec<&String> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+        assert_eq!(errors.len(), 1, "{results:?}");
+        assert!(errors[0].contains("refusing to persist"), "{}", errors[0]);
+        // Nothing was written outside the state directory, and the
+        // honest session still persisted inside it.
+        assert!(dir.join(format!("session-{id}.json")).exists());
+        let parent = dir.parent().unwrap();
+        assert!(!parent.join("escape.json").exists());
+        assert!(!parent.parent().unwrap().join("escape.json").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_durability_config_is_a_400() {
+        let state = AppState::new(None);
+        let body = create_body().replace(
+            "\"config\": {",
+            r#""config": {"durability": {"fsync": "sometimes"}, "#,
+        );
+        let resp = route(&state, &request("POST", "/sessions", &body)).1;
+        assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(&resp.body));
+        assert!(String::from_utf8_lossy(&resp.body).contains("durability"));
+        // Enabling the WAL without a state dir is rejected, not ignored.
+        let body = create_body().replace(
+            "\"config\": {",
+            r#""config": {"durability": {"wal": true}, "#,
+        );
+        let resp = route(&state, &request("POST", "/sessions", &body)).1;
+        assert_eq!(resp.status, 400, "{}", String::from_utf8_lossy(&resp.body));
+        assert!(String::from_utf8_lossy(&resp.body).contains("state directory"));
     }
 
     #[test]

@@ -19,12 +19,17 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use alex_core::telemetry::{
+    RECOVERED_RECORDS_TOTAL, RECOVERIES_TOTAL, WAL_APPENDS_TOTAL, WAL_BYTES_TOTAL, WAL_FSYNCS_TOTAL,
+};
 use alex_core::trace::{self, Payload};
+use alex_core::{DurabilityConfig, SessionHandle};
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
 
 use crate::api;
 use crate::http::{read_request, HttpError, Response};
-use crate::state::AppState;
+use crate::state::{AppState, SessionEntry};
 
 /// How the server should run.
 #[derive(Debug, Clone)]
@@ -39,6 +44,11 @@ pub struct ServeConfig {
     pub request_timeout: Duration,
     /// Where shutdown persists session snapshots (`session-<id>.json`).
     pub state_dir: Option<PathBuf>,
+    /// Server-wide durability defaults: whether sessions write a WAL,
+    /// the fsync policy, and the compaction threshold. With `wal` on and
+    /// a `state_dir` configured, boot replays every per-session WAL found
+    /// there before the listener accepts traffic.
+    pub durability: DurabilityConfig,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +59,7 @@ impl Default for ServeConfig {
             queue_depth: 64,
             request_timeout: Duration::from_secs(10),
             state_dir: None,
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -68,10 +79,39 @@ pub struct Server {
 impl Server {
     /// Binds and starts accepting. Returns once the listener is live.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        // Fail fast on a bad durability config instead of discovering it
+        // on the first session creation.
+        let wal_opts = cfg.durability.to_options().map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("durability config: {e}"),
+            )
+        })?;
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
-        let state = Arc::new(AppState::new(cfg.state_dir.clone()));
+        let mut app = AppState::new(cfg.state_dir.clone());
+        app.durability = cfg.durability.clone();
+        let state = Arc::new(app);
+        for name in [
+            WAL_APPENDS_TOTAL,
+            WAL_FSYNCS_TOTAL,
+            WAL_BYTES_TOTAL,
+            RECOVERIES_TOTAL,
+            RECOVERED_RECORDS_TOTAL,
+        ] {
+            // Register at zero so the counters are visible in /metrics
+            // from the first scrape on.
+            state.metrics.counter(name).add(0);
+        }
+        // Boot recovery: replay every per-session WAL found in the state
+        // directory before the listener starts accepting traffic, so a
+        // client that reconnects right away sees its sessions back.
+        if cfg.durability.wal {
+            if let Some(dir) = &cfg.state_dir {
+                recover_sessions(&state, dir, wal_opts, cfg.durability.compact_after_records);
+            }
+        }
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) =
             channel::bounded(cfg.queue_depth.max(1));
@@ -135,6 +175,63 @@ impl Server {
         }
         self.state.persist_sessions()
     }
+}
+
+/// Replays every `session-<id>/` directory under `dir` into the session
+/// table: dataset snapshots decode, the checkpoint restores the learned
+/// policy, and the WAL tail replays through the deterministic feedback
+/// path. Failures (aborted creations, damaged snapshots) are diagnosed
+/// and skipped — one broken session must not keep the server down.
+fn recover_sessions(
+    state: &AppState,
+    dir: &std::path::Path,
+    opts: alex_core::store::WalOptions,
+    compact_after: u64,
+) {
+    let outcome = match alex_core::recover_state_dir(dir, opts, compact_after) {
+        Ok(o) => o,
+        Err(e) => {
+            trace::diag(
+                "error",
+                &format!("scanning state dir {} failed: {e}", dir.display()),
+            );
+            return;
+        }
+    };
+    for recovered in outcome.sessions {
+        state.metrics.counter(RECOVERIES_TOTAL).inc();
+        state
+            .metrics
+            .counter(RECOVERED_RECORDS_TOTAL)
+            .add(recovered.report.replayed_records);
+        state.advance_ids_past(&recovered.id);
+        let handle = SessionHandle::new(recovered.session);
+        api::update_session_gauges(state, &recovered.id, &handle, None);
+        state.sessions.write().insert(
+            recovered.id.clone(),
+            SessionEntry {
+                handle,
+                truth: None,
+                durable: Some(Arc::new(Mutex::new(recovered.durable))),
+            },
+        );
+        trace::diag(
+            "info",
+            &format!(
+                "recovered session {}: {} episode(s), {} feedback item(s), \
+                 {} candidate link(s), {} WAL record(s) replayed",
+                recovered.id,
+                recovered.report.episodes,
+                recovered.report.feedback_items,
+                recovered.report.candidates,
+                recovered.report.replayed_records
+            ),
+        );
+    }
+    state
+        .metrics
+        .gauge("alex_sessions_active")
+        .set(state.sessions.read().len() as i64);
 }
 
 /// Poll interval for the non-blocking accept loop; bounds shutdown

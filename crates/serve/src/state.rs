@@ -3,11 +3,14 @@
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use alex_core::telemetry::MetricsRegistry;
-use alex_core::SessionHandle;
+use alex_core::{
+    validate_session_id, write_atomic, DurabilityConfig, DurableSession, SessionHandle,
+};
 use alex_rdf::Link;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 /// One server-side session: the shared curation handle plus optional
 /// ground-truth links (when the client supplied them at creation time,
@@ -17,6 +20,10 @@ pub struct SessionEntry {
     pub handle: SessionHandle,
     /// Optional ground truth for quality gauges.
     pub truth: Option<HashSet<Link>>,
+    /// Per-session durable storage (dataset snapshots, checkpoint, WAL),
+    /// present when the session runs with the write-ahead log enabled.
+    /// Lock order: the session's own lock first, then this mutex.
+    pub durable: Option<Arc<Mutex<DurableSession>>>,
 }
 
 /// State shared by every worker thread.
@@ -28,17 +35,21 @@ pub struct AppState {
     pub metrics: MetricsRegistry,
     /// Where shutdown persists session snapshots, if anywhere.
     pub state_dir: Option<PathBuf>,
+    /// Server-wide durability defaults; sessions may override via
+    /// `config.durability` at creation time.
+    pub durability: DurabilityConfig,
     next_id: AtomicU64,
     next_request_id: AtomicU64,
 }
 
 impl AppState {
-    /// Fresh state with an empty session table.
+    /// Fresh state with an empty session table and durability off.
     pub fn new(state_dir: Option<PathBuf>) -> Self {
         AppState {
             sessions: RwLock::new(HashMap::new()),
             metrics: MetricsRegistry::new(),
             state_dir,
+            durability: DurabilityConfig::default(),
             next_id: AtomicU64::new(1),
             next_request_id: AtomicU64::new(1),
         }
@@ -49,17 +60,30 @@ impl AppState {
         format!("s{}", self.next_id.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// Makes sure freshly allocated ids never collide with `id` — called
+    /// for every session recovered from the state directory at boot.
+    pub fn advance_ids_past(&self, id: &str) {
+        if let Some(n) = id.strip_prefix('s').and_then(|n| n.parse::<u64>().ok()) {
+            self.next_id
+                .fetch_max(n.saturating_add(1), Ordering::Relaxed);
+        }
+    }
+
     /// Allocates a request id (`r1`, `r2`, …) for requests that did not
     /// bring their own `X-Request-Id`.
     pub fn fresh_request_id(&self) -> String {
         format!("r{}", self.next_request_id.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// Snapshots every session to `state_dir/session-<id>.json` (the raw
+    /// Persists every session to the state directory. Durable sessions
+    /// get a final checkpoint (folding their WAL); the rest are
+    /// snapshotted to `state_dir/session-<id>.json` (the raw
     /// [`alex_core::SessionSnapshot`] JSON, restorable with
-    /// `SessionSnapshot::from_json(...).restore(...)`). Returns the files
-    /// written; empty when no `state_dir` is configured. Errors are
-    /// reported per file rather than aborting the remaining sessions.
+    /// `SessionSnapshot::from_json(...).restore(...)`). All writes are
+    /// atomic (`*.tmp` + rename), so a crash mid-shutdown can never leave
+    /// a torn snapshot. Returns the files written; empty when no
+    /// `state_dir` is configured. Errors are reported per file rather
+    /// than aborting the remaining sessions.
     pub fn persist_sessions(&self) -> Vec<Result<PathBuf, String>> {
         let Some(dir) = &self.state_dir else {
             return Vec::new();
@@ -72,11 +96,25 @@ impl AppState {
         ids.sort();
         ids.into_iter()
             .map(|id| {
-                let path = dir.join(format!("session-{id}.json"));
-                let json = sessions[id].handle.read().snapshot().to_json();
-                std::fs::write(&path, json)
-                    .map(|_| path.clone())
-                    .map_err(|e| format!("writing {}: {e}", path.display()))
+                // Ids are server-generated today, but this is the one
+                // place they become filenames — never let a hostile id
+                // escape the state directory.
+                validate_session_id(id)
+                    .map_err(|e| format!("refusing to persist session {id:?}: {e}"))?;
+                let entry = &sessions[id];
+                let mut snap = entry.handle.read().snapshot();
+                if let Some(durable) = &entry.durable {
+                    let mut durable = durable.lock();
+                    durable
+                        .checkpoint(&mut snap)
+                        .map(|_| durable.dir().join("checkpoint.json"))
+                        .map_err(|e| format!("checkpointing session {id}: {e}"))
+                } else {
+                    let path = dir.join(format!("session-{id}.json"));
+                    write_atomic(&path, snap.to_json().as_bytes())
+                        .map(|_| path.clone())
+                        .map_err(|e| format!("writing {}: {e}", path.display()))
+                }
             })
             .collect()
     }
@@ -91,6 +129,15 @@ mod tests {
         let state = AppState::new(None);
         assert_eq!(state.fresh_id(), "s1");
         assert_eq!(state.fresh_id(), "s2");
+    }
+
+    #[test]
+    fn recovered_ids_push_the_allocator_forward() {
+        let state = AppState::new(None);
+        state.advance_ids_past("s7");
+        state.advance_ids_past("s3"); // going backwards is a no-op
+        state.advance_ids_past("not-numeric"); // non-s{n} ids are ignored
+        assert_eq!(state.fresh_id(), "s8");
     }
 
     #[test]

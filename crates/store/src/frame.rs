@@ -1,0 +1,210 @@
+//! CRC32-framed, length-prefixed records — the WAL's on-disk unit.
+//!
+//! Layout of one frame:
+//!
+//! ```text
+//! ┌────────────┬─────────────┬──────────────┐
+//! │ len: u32LE │ crc32: u32LE│ payload bytes │
+//! └────────────┴─────────────┴──────────────┘
+//! ```
+//!
+//! `crc32` covers the payload only; `len` is validated against
+//! [`MAX_PAYLOAD_BYTES`] before any allocation, so a corrupted length
+//! cannot make the reader balloon. Readers treat *anything* wrong — a
+//! short header, a short payload, an oversized length, a checksum
+//! mismatch — as a torn tail: scanning stops at the frame boundary and the
+//! caller truncates there. That is what makes "never refuse to start" safe:
+//! a crash mid-write can only ever damage the suffix.
+
+use crate::crc32::crc32;
+
+/// Bytes of the `len` + `crc32` prefix.
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// Hard ceiling on a single frame's payload (16 MiB). Anything larger in
+/// a length prefix is treated as corruption.
+pub const MAX_PAYLOAD_BYTES: usize = 1 << 24;
+
+/// Appends one frame to `out`. Panics if `payload` exceeds
+/// [`MAX_PAYLOAD_BYTES`] — record encoders never produce such payloads.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    assert!(
+        payload.len() <= MAX_PAYLOAD_BYTES,
+        "frame payload of {} bytes exceeds the {} byte ceiling",
+        payload.len(),
+        MAX_PAYLOAD_BYTES
+    );
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Why a frame could not be read at some offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BadFrame {
+    /// Fewer than [`FRAME_HEADER_BYTES`] bytes remained.
+    TruncatedHeader,
+    /// The header promised more payload bytes than remained.
+    TruncatedPayload,
+    /// The length prefix exceeds [`MAX_PAYLOAD_BYTES`].
+    Oversized,
+    /// The payload's CRC-32 did not match the header.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for BadFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self {
+            BadFrame::TruncatedHeader => "truncated frame header",
+            BadFrame::TruncatedPayload => "truncated frame payload",
+            BadFrame::Oversized => "frame length exceeds the payload ceiling",
+            BadFrame::ChecksumMismatch => "frame checksum mismatch",
+        };
+        write!(f, "{what}")
+    }
+}
+
+/// The outcome of trying to read one frame at the start of `buf`.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameOutcome<'a> {
+    /// A complete, checksum-valid frame. `consumed` is its total size
+    /// including the header.
+    Frame {
+        /// The validated payload.
+        payload: &'a [u8],
+        /// Header + payload bytes consumed from `buf`.
+        consumed: usize,
+    },
+    /// `buf` is empty — a clean end of the log.
+    End,
+    /// The bytes at this offset are not a valid frame (torn tail).
+    Bad(BadFrame),
+}
+
+/// Reads one frame from the start of `buf`.
+pub fn read_frame(buf: &[u8]) -> FrameOutcome<'_> {
+    if buf.is_empty() {
+        return FrameOutcome::End;
+    }
+    if buf.len() < FRAME_HEADER_BYTES {
+        return FrameOutcome::Bad(BadFrame::TruncatedHeader);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_PAYLOAD_BYTES {
+        return FrameOutcome::Bad(BadFrame::Oversized);
+    }
+    let expected_crc = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let rest = &buf[FRAME_HEADER_BYTES..];
+    if rest.len() < len {
+        return FrameOutcome::Bad(BadFrame::TruncatedPayload);
+    }
+    let payload = &rest[..len];
+    if crc32(payload) != expected_crc {
+        return FrameOutcome::Bad(BadFrame::ChecksumMismatch);
+    }
+    FrameOutcome::Frame {
+        payload,
+        consumed: FRAME_HEADER_BYTES + len,
+    }
+}
+
+/// Scans `buf` frame by frame, calling `visit` for each valid payload.
+/// Returns the clean byte offset up to which frames were valid, and the
+/// reason scanning stopped short of the end (if it did).
+pub fn scan_frames<'a>(
+    buf: &'a [u8],
+    mut visit: impl FnMut(&'a [u8]),
+) -> (usize, Option<BadFrame>) {
+    let mut offset = 0;
+    loop {
+        match read_frame(&buf[offset..]) {
+            FrameOutcome::Frame { payload, consumed } => {
+                visit(payload);
+                offset += consumed;
+            }
+            FrameOutcome::End => return (offset, None),
+            FrameOutcome::Bad(why) => return (offset, Some(why)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_edge_payloads() {
+        // 0-length, 1-length, and the maximum payload are all legal.
+        let max = vec![0xA5u8; MAX_PAYLOAD_BYTES];
+        for payload in [&b""[..], &b"x"[..], &max[..]] {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, payload);
+            match read_frame(&buf) {
+                FrameOutcome::Frame {
+                    payload: got,
+                    consumed,
+                } => {
+                    assert_eq!(got, payload);
+                    assert_eq!(consumed, buf.len());
+                }
+                other => panic!("expected a frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_writes_panic() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &vec![0u8; MAX_PAYLOAD_BYTES + 1]);
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_torn_tail() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first");
+        write_frame(&mut buf, b"second record, a bit longer");
+        let first_len = FRAME_HEADER_BYTES + b"first".len();
+
+        for cut in 0..buf.len() {
+            let (clean, bad) = scan_frames(&buf[..cut], |_| {});
+            if cut < first_len {
+                assert_eq!(clean, 0, "cut at {cut}");
+                assert_eq!(bad.is_some(), cut > 0, "cut at {cut}");
+            } else if cut < buf.len() {
+                assert_eq!(clean, first_len, "cut at {cut}");
+                assert_eq!(bad.is_some(), cut > first_len, "cut at {cut}");
+            }
+        }
+        // The untruncated buffer scans cleanly.
+        let mut seen = Vec::new();
+        let (clean, bad) = scan_frames(&buf, |p| seen.push(p.to_vec()));
+        assert_eq!(clean, buf.len());
+        assert_eq!(bad, None);
+        assert_eq!(
+            seen,
+            vec![b"first".to_vec(), b"second record, a bit longer".to_vec()]
+        );
+    }
+
+    #[test]
+    fn corrupted_byte_stops_the_scan_at_the_frame_boundary() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha");
+        write_frame(&mut buf, b"beta");
+        let first_len = FRAME_HEADER_BYTES + 5;
+        // Corrupt a payload byte of the second frame.
+        buf[first_len + FRAME_HEADER_BYTES] ^= 0xFF;
+        let (clean, bad) = scan_frames(&buf, |_| {});
+        assert_eq!(clean, first_len);
+        assert_eq!(bad, Some(BadFrame::ChecksumMismatch));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_bad_not_oom() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(read_frame(&buf), FrameOutcome::Bad(BadFrame::Oversized));
+    }
+}

@@ -144,6 +144,42 @@ pub enum Payload {
         /// Links removed.
         removed: u64,
     },
+    /// Records were appended to a session's write-ahead log.
+    WalAppend {
+        /// Session id owning the log.
+        session: String,
+        /// Record kind of the first record in the batch.
+        kind: String,
+        /// Sequence number of the last record in the batch.
+        seq: u64,
+        /// Frame bytes written (headers included).
+        bytes: u64,
+    },
+    /// A write-ahead log rotated to a new segment.
+    WalRotate {
+        /// Session id owning the log.
+        session: String,
+        /// Index of the segment rotated into.
+        segment: u64,
+    },
+    /// A write-ahead log was replayed at boot.
+    WalReplay {
+        /// Session id owning the log.
+        session: String,
+        /// Records recovered.
+        records: u64,
+        /// Torn-tail bytes discarded.
+        truncated_bytes: u64,
+    },
+    /// A write-ahead log was compacted into a checkpoint.
+    WalCompact {
+        /// Session id owning the log.
+        session: String,
+        /// Every record at or below this sequence is in the checkpoint.
+        up_to_seq: u64,
+        /// Dead segment files deleted.
+        segments_removed: u64,
+    },
     /// A free-form diagnostic routed through the event log.
     Message {
         /// `info`, `warn`, or `error`.
@@ -171,6 +207,10 @@ impl Payload {
             Payload::LinkRemoved { .. } => "link_removed",
             Payload::Rollback { .. } => "rollback",
             Payload::EpisodeEnd { .. } => "episode_end",
+            Payload::WalAppend { .. } => "wal_append",
+            Payload::WalRotate { .. } => "wal_rotate",
+            Payload::WalReplay { .. } => "wal_replay",
+            Payload::WalCompact { .. } => "wal_compact",
             Payload::Message { .. } => "message",
         }
     }
@@ -343,6 +383,39 @@ impl Event {
                 field_u64(&mut o, "added", *added);
                 field_u64(&mut o, "removed", *removed);
             }
+            Payload::WalAppend {
+                session,
+                kind,
+                seq,
+                bytes,
+            } => {
+                field_str(&mut o, "session", session);
+                field_str(&mut o, "record", kind);
+                field_u64(&mut o, "wal_seq", *seq);
+                field_u64(&mut o, "bytes", *bytes);
+            }
+            Payload::WalRotate { session, segment } => {
+                field_str(&mut o, "session", session);
+                field_u64(&mut o, "segment", *segment);
+            }
+            Payload::WalReplay {
+                session,
+                records,
+                truncated_bytes,
+            } => {
+                field_str(&mut o, "session", session);
+                field_u64(&mut o, "records", *records);
+                field_u64(&mut o, "truncated_bytes", *truncated_bytes);
+            }
+            Payload::WalCompact {
+                session,
+                up_to_seq,
+                segments_removed,
+            } => {
+                field_str(&mut o, "session", session);
+                field_u64(&mut o, "up_to_seq", *up_to_seq);
+                field_u64(&mut o, "segments_removed", *segments_removed);
+            }
             Payload::Message { level, text } => {
                 field_str(&mut o, "level", level);
                 field_str(&mut o, "text", text);
@@ -442,6 +515,26 @@ impl Event {
                 added: num("added"),
                 removed: num("removed"),
             },
+            "wal_append" => Payload::WalAppend {
+                session: req_str("session")?,
+                kind: req_str("record")?,
+                seq: num("wal_seq"),
+                bytes: num("bytes"),
+            },
+            "wal_rotate" => Payload::WalRotate {
+                session: req_str("session")?,
+                segment: num("segment"),
+            },
+            "wal_replay" => Payload::WalReplay {
+                session: req_str("session")?,
+                records: num("records"),
+                truncated_bytes: num("truncated_bytes"),
+            },
+            "wal_compact" => Payload::WalCompact {
+                session: req_str("session")?,
+                up_to_seq: num("up_to_seq"),
+                segments_removed: num("segments_removed"),
+            },
             "message" => Payload::Message {
                 level: req_str("level")?,
                 text: req_str("text")?,
@@ -536,6 +629,38 @@ mod tests {
                 Payload::SpanEnd {
                     name: "http.request".into(),
                     elapsed_us: 870,
+                },
+            ),
+            mk(
+                6,
+                Payload::WalAppend {
+                    session: "s1".into(),
+                    kind: "feedback".into(),
+                    seq: 42,
+                    bytes: 96,
+                },
+            ),
+            mk(
+                7,
+                Payload::WalRotate {
+                    session: "s1".into(),
+                    segment: 3,
+                },
+            ),
+            mk(
+                8,
+                Payload::WalReplay {
+                    session: "s1".into(),
+                    records: 41,
+                    truncated_bytes: 17,
+                },
+            ),
+            mk(
+                9,
+                Payload::WalCompact {
+                    session: "s1".into(),
+                    up_to_seq: 42,
+                    segments_removed: 2,
                 },
             ),
         ]

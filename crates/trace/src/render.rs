@@ -109,6 +109,29 @@ fn one_line(e: &Event) -> String {
         } => format!(
             "episode end (partition {partition}): {feedback} feedback, +{added}/-{removed} links"
         ),
+        Payload::WalAppend {
+            session,
+            kind,
+            seq,
+            bytes,
+        } => format!("wal append ({session}): {kind} seq={seq} ({bytes} B)"),
+        Payload::WalRotate { session, segment } => {
+            format!("wal rotate ({session}): → segment {segment}")
+        }
+        Payload::WalReplay {
+            session,
+            records,
+            truncated_bytes,
+        } => format!(
+            "wal replay ({session}): {records} record(s), {truncated_bytes} torn byte(s)"
+        ),
+        Payload::WalCompact {
+            session,
+            up_to_seq,
+            segments_removed,
+        } => format!(
+            "wal compact ({session}): checkpoint ≤ seq {up_to_seq}, removed {segments_removed} segment(s)"
+        ),
         Payload::Message { level, text } => format!("[{level}] {text}"),
     }
 }
